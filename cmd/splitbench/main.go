@@ -1,0 +1,100 @@
+// Command splitbench regenerates the paper's tables and figures as text.
+//
+// Usage:
+//
+//	splitbench [-scale F] [-seed N] [experiment ...]
+//
+// With no arguments it runs every experiment (fig1..fig21, table1..table3)
+// in paper order. Scale < 1 shortens measurement windows proportionally.
+//
+//	splitbench -scale 0.2 fig12 fig13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"splitio/internal/exp"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "measurement-window scale factor")
+	seed := flag.Int64("seed", 1, "deterministic random seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: splitbench [-scale F] [-seed N] [experiment ...]\n\nexperiments:\n")
+		for _, e := range exp.All {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := exp.Options{Scale: *scale, Seed: *seed}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range exp.All {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := exp.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "splitbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab := e.Run(opts)
+		printTable(tab, time.Since(start))
+	}
+}
+
+func printTable(t *exp.Table, wall time.Duration) {
+	fmt.Printf("\n%s\n%s (wall %v)\n", strings.Repeat("=", len(t.Title)), t.Title, wall.Round(time.Millisecond))
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, s := range t.Series {
+		fmt.Printf("  %s (every %v):", s.Label, s.Step)
+		for _, v := range s.Values {
+			fmt.Printf(" %.0f", v)
+		}
+		fmt.Println()
+	}
+	if t.Notes != "" {
+		fmt.Printf("  note: %s\n", t.Notes)
+	}
+}

@@ -1,0 +1,62 @@
+// hdfs demonstrates distributed isolation on the simulated HDFS cluster
+// (paper §7.3): seven datanodes each run Split-Token locally; the
+// client-to-worker protocol carries a tenant account, so one tenant's
+// triple-replicated write pipelines can be rate-capped cluster-wide while
+// another tenant runs at full speed.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"splitio/internal/apps/hdfssim"
+	"splitio/internal/cache"
+	"splitio/internal/sched/stoken"
+	"splitio/internal/sim"
+)
+
+func main() {
+	env := sim.NewEnv(1)
+	defer env.Close()
+
+	cfg := hdfssim.DefaultConfig(stoken.Factory)
+	cc := cache.DefaultConfig()
+	cc.TotalPages = 256 << 20 / cache.PageSize
+	cfg.WorkerOpts.Cache = &cc
+	cluster := hdfssim.NewCluster(env, cfg)
+
+	// Cap the "batch" tenant to 16 MB/s of normalized I/O on each worker.
+	for _, w := range cluster.Workers() {
+		w.Sched.(*stoken.Sched).SetLimit("batch", 16<<20, 16<<20)
+	}
+
+	var batch, prod []*hdfssim.Client
+	for i := 0; i < 4; i++ {
+		b := cluster.NewClient(fmt.Sprintf("batch%d", i), "batch")
+		p := cluster.NewClient(fmt.Sprintf("prod%d", i), "")
+		batch = append(batch, b)
+		prod = append(prod, p)
+		env.Go("batch-client", func(pp *sim.Proc) { b.WriteLoop(pp) })
+		env.Go("prod-client", func(pp *sim.Proc) { p.WriteLoop(pp) })
+	}
+
+	env.Run(env.Now().Add(5 * time.Second))
+	for _, c := range append(append([]*hdfssim.Client{}, batch...), prod...) {
+		c.ResetStats(env.Now())
+	}
+	env.Run(env.Now().Add(30 * time.Second))
+
+	var bSum, pSum float64
+	for _, c := range batch {
+		bSum += c.MBps(env.Now())
+	}
+	for _, c := range prod {
+		pSum += c.MBps(env.Now())
+	}
+	bound := 16.0 / 3 * float64(len(cluster.Workers()))
+	fmt.Println("HDFS: 7 datanodes, 3x replication, 4 batch + 4 production writers")
+	fmt.Printf("batch tenant (capped 16 MB/s/worker): %6.1f MB/s (upper bound %.1f)\n", bSum, bound)
+	fmt.Printf("production tenant (uncapped):         %6.1f MB/s\n", pSum)
+	fmt.Println("\nAccounts ride the RPC protocol down to each worker's local Split-Token,")
+	fmt.Println("so a purely local scheduler enforces a cluster-wide isolation goal.")
+}

@@ -1,0 +1,107 @@
+package hdfssim
+
+import (
+	"testing"
+	"time"
+
+	"splitio/internal/cache"
+	"splitio/internal/core"
+	"splitio/internal/sched/stoken"
+	"splitio/internal/sim"
+)
+
+func smallCluster(t *testing.T, workers int, blockBytes int64) *Cluster {
+	t.Helper()
+	env := sim.NewEnv(1)
+	cfg := DefaultConfig(stoken.Factory)
+	cfg.Workers = workers
+	cfg.BlockBytes = blockBytes
+	cc := cache.DefaultConfig()
+	cc.TotalPages = 256 << 20 / cache.PageSize
+	cfg.WorkerOpts.Cache = &cc
+	c := NewCluster(env, cfg)
+	t.Cleanup(env.Close)
+	return c
+}
+
+func TestReplicationFanout(t *testing.T) {
+	c := smallCluster(t, 7, 8<<20)
+	cl := c.NewClient("t1", "")
+	c.Env().Go("client", func(p *sim.Proc) { cl.writeBlock(p) })
+	c.Env().Run(sim.Time(5 * time.Minute))
+	// One 8 MiB block, 3 replicas: total worker-received bytes = 24 MiB.
+	var total int64
+	for _, w := range c.Workers() {
+		for _, pr := range w.VFS.Processes() {
+			total += pr.BytesWritten.Total()
+		}
+	}
+	if total != 24<<20 {
+		t.Fatalf("replica bytes = %d, want 24MiB", total)
+	}
+	if cl.BytesWritten() != 8<<20 {
+		t.Fatalf("client accounting = %d", cl.BytesWritten())
+	}
+}
+
+func TestPipelineRotation(t *testing.T) {
+	c := smallCluster(t, 7, 1<<20)
+	seen := map[*core.Kernel]bool{}
+	for i := 0; i < 7; i++ {
+		for _, w := range c.pipeline() {
+			seen[w] = true
+		}
+	}
+	if len(seen) != 7 {
+		t.Fatalf("rotation used %d/7 workers", len(seen))
+	}
+}
+
+func TestThrottledClientCapped(t *testing.T) {
+	c := smallCluster(t, 4, 8<<20)
+	for _, w := range c.Workers() {
+		w.Sched.(*stoken.Sched).SetLimit("slow", 4<<20, 4<<20)
+	}
+	cl := c.NewClient("slow", "slow")
+	c.Env().Go("client", func(p *sim.Proc) { cl.WriteLoop(p) })
+	c.Env().Run(sim.Time(5 * time.Second))
+	cl.ResetStats(c.Env().Now())
+	c.Env().Run(sim.Time(25 * time.Second))
+	got := cl.MBps(c.Env().Now())
+	// 4 workers × 4 MB/s each / 3 replicas ≈ 5.3 MB/s upper bound.
+	if got > 8 {
+		t.Fatalf("throttled client at %.1f MB/s, want <= ~5.3", got)
+	}
+	if got < 0.5 {
+		t.Fatalf("throttled client starved: %.2f MB/s", got)
+	}
+}
+
+func TestUnthrottledClientFast(t *testing.T) {
+	c := smallCluster(t, 4, 8<<20)
+	cl := c.NewClient("fast", "")
+	c.Env().Go("client", func(p *sim.Proc) { cl.WriteLoop(p) })
+	c.Env().Run(sim.Time(10 * time.Second))
+	if cl.MBps(c.Env().Now()) < 20 {
+		t.Fatalf("unthrottled client at %.1f MB/s", cl.MBps(c.Env().Now()))
+	}
+}
+
+func TestIsolationBetweenGroups(t *testing.T) {
+	c := smallCluster(t, 7, 16<<20)
+	for _, w := range c.Workers() {
+		w.Sched.(*stoken.Sched).SetLimit("throttled", 8<<20, 8<<20)
+	}
+	fast := c.NewClient("fast", "")
+	slow := c.NewClient("slow", "throttled")
+	c.Env().Go("fast", func(p *sim.Proc) { fast.WriteLoop(p) })
+	c.Env().Go("slow", func(p *sim.Proc) { slow.WriteLoop(p) })
+	c.Env().Run(sim.Time(5 * time.Second))
+	fast.ResetStats(c.Env().Now())
+	slow.ResetStats(c.Env().Now())
+	c.Env().Run(sim.Time(30 * time.Second))
+	f, s := fast.MBps(c.Env().Now()), slow.MBps(c.Env().Now())
+	if s >= f {
+		t.Fatalf("throttled group (%.1f) not below unthrottled (%.1f)", s, f)
+	}
+}

@@ -1,0 +1,57 @@
+package pgsim
+
+import (
+	"testing"
+	"time"
+
+	"splitio/internal/core"
+	"splitio/internal/sched/bdeadline"
+	"splitio/internal/sched/sdeadline"
+	"splitio/internal/schedtest"
+)
+
+func run(t *testing.T, factory core.Factory, d time.Duration) *Server {
+	k := schedtest.Kernel(t, factory, func(o *core.Options) { o.Disk = core.SSD })
+	cfg := DefaultConfig()
+	cfg.CheckpointInterval = 10 * time.Second // denser checkpoints at sim scale
+	s := Start(k, cfg)
+	k.Run(d)
+	return s
+}
+
+func TestTransactionsCommit(t *testing.T) {
+	s := run(t, bdeadline.Factory, 15*time.Second)
+	if s.Txns() == 0 {
+		t.Fatal("no transactions")
+	}
+}
+
+func TestCheckpointsRun(t *testing.T) {
+	s := run(t, bdeadline.Factory, 25*time.Second)
+	if s.Checkpoints == 0 {
+		t.Fatal("no checkpoints")
+	}
+}
+
+// TestFsyncFreeze (Fig 19): under Block-Deadline a visible fraction of
+// transactions blows the 15 ms target around checkpoints; Split-Deadline
+// keeps that fraction far smaller.
+func TestFsyncFreeze(t *testing.T) {
+	block := run(t, bdeadline.Factory, 45*time.Second)
+	split := run(t, sdeadline.Factory, 45*time.Second)
+	bMiss := block.FractionAbove(15 * time.Millisecond)
+	sMiss := split.FractionAbove(15 * time.Millisecond)
+	if bMiss == 0 {
+		t.Fatalf("block-deadline shows no freeze (miss=%v); workload too gentle", bMiss)
+	}
+	if sMiss > bMiss/2 {
+		t.Fatalf("split miss fraction %.4f not well below block %.4f", sMiss, bMiss)
+	}
+}
+
+func TestPercentileAccessors(t *testing.T) {
+	s := run(t, sdeadline.Factory, 10*time.Second)
+	if s.P(50) <= 0 {
+		t.Fatal("p50 <= 0")
+	}
+}

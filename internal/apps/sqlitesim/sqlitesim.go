@@ -1,0 +1,146 @@
+// Package sqlitesim models a SQLite3-style embedded database in WAL mode,
+// the paper's §7.1.1 workload: transactions append to a write-ahead log and
+// fsync it; a checkpointer copies dirty table pages into the database file
+// (random writes) and fsyncs it once the number of dirty buffers crosses a
+// threshold. Under Block-Deadline, checkpoint fsyncs stall concurrent log
+// commits (Fig 18); Split-Deadline's fsync scheduling keeps transaction
+// tails low.
+package sqlitesim
+
+import (
+	"time"
+
+	"splitio/internal/cache"
+	"splitio/internal/core"
+	"splitio/internal/fs"
+	"splitio/internal/metrics"
+	"splitio/internal/sim"
+	"splitio/internal/vfs"
+)
+
+// Config parameterizes the database and workload.
+type Config struct {
+	// TableBytes is the database file size.
+	TableBytes int64
+	// RowsPerTxn is how many random rows one transaction updates.
+	RowsPerTxn int
+	// WALRecordBytes is the log record size appended per transaction.
+	WALRecordBytes int64
+	// CheckpointThreshold is the dirty-buffer count that triggers a
+	// checkpoint (the Fig 18 x-axis).
+	CheckpointThreshold int
+	// LogFsyncDeadline and DBFsyncDeadline are the per-file deadline
+	// settings for split-deadline (paper: 100 ms and 10 s).
+	LogFsyncDeadline time.Duration
+	DBFsyncDeadline  time.Duration
+	// ThinkTime between transactions.
+	ThinkTime time.Duration
+}
+
+// DefaultConfig matches the paper's setup at simulation scale.
+func DefaultConfig() Config {
+	return Config{
+		TableBytes:          1 << 30,
+		RowsPerTxn:          4,
+		WALRecordBytes:      4096,
+		CheckpointThreshold: 1024,
+		LogFsyncDeadline:    100 * time.Millisecond,
+		DBFsyncDeadline:     10 * time.Second,
+		ThinkTime:           2 * time.Millisecond,
+	}
+}
+
+// DB is a running simulated database.
+type DB struct {
+	k   *core.Kernel
+	cfg Config
+
+	table *fs.File
+	wal   *fs.File
+
+	writer *vfs.Process
+	ckpt   *vfs.Process
+
+	// dirtyRows holds row page indices updated since the last checkpoint.
+	dirtyRows []int64
+	ckptWake  *sim.WaitQueue
+
+	// Latencies collects per-transaction commit latencies.
+	Latencies metrics.Histogram
+	// Checkpoints counts completed checkpoints.
+	Checkpoints int
+	txns        int64
+}
+
+// Open creates the database files and starts the writer and checkpointer
+// processes on k.
+func Open(k *core.Kernel, cfg Config) *DB {
+	db := &DB{
+		k:        k,
+		cfg:      cfg,
+		table:    k.FS.MkFileContiguous("/db/table", cfg.TableBytes),
+		ckptWake: sim.NewWaitQueue(k.Env),
+	}
+	db.writer = k.VFS.NewProcess("sqlite-writer", 4)
+	db.writer.Ctx.FsyncDeadline = cfg.LogFsyncDeadline
+	db.writer.Ctx.ReadDeadline = cfg.LogFsyncDeadline
+	db.ckpt = k.VFS.NewProcess("sqlite-ckpt", 4)
+	db.ckpt.Ctx.FsyncDeadline = cfg.DBFsyncDeadline
+	k.Env.Go("sqlite-writer", db.writerLoop)
+	k.Env.Go("sqlite-ckpt", db.checkpointer)
+	return db
+}
+
+// Txns returns the number of committed transactions.
+func (db *DB) Txns() int64 { return db.txns }
+
+func (db *DB) writerLoop(p *sim.Proc) {
+	wal, err := db.k.FS.Create(p, db.writer.Ctx, "/db/wal")
+	if err != nil {
+		return
+	}
+	db.wal = wal
+	tablePages := db.cfg.TableBytes / cache.PageSize
+	rng := db.k.Env.Rand()
+	var walOff int64
+	for {
+		start := p.Now()
+		// Update RowsPerTxn random rows: read the page (may hit cache),
+		// buffer the row update in memory, log it.
+		for i := 0; i < db.cfg.RowsPerTxn; i++ {
+			row := rng.Int63n(tablePages)
+			db.k.VFS.Read(p, db.writer, db.table, row*cache.PageSize, cache.PageSize)
+			db.dirtyRows = append(db.dirtyRows, row)
+		}
+		// Commit: append the log record and fsync the WAL.
+		db.k.VFS.Write(p, db.writer, db.wal, walOff, db.cfg.WALRecordBytes)
+		walOff += db.cfg.WALRecordBytes
+		db.k.VFS.Fsync(p, db.writer, db.wal)
+		db.Latencies.Add(p.Now().Sub(start))
+		db.txns++
+		if len(db.dirtyRows) >= db.cfg.CheckpointThreshold {
+			db.ckptWake.Signal()
+		}
+		if db.cfg.ThinkTime > 0 {
+			p.Sleep(db.cfg.ThinkTime)
+		}
+	}
+}
+
+// checkpointer copies dirty rows into the table file and fsyncs it.
+func (db *DB) checkpointer(p *sim.Proc) {
+	for {
+		if len(db.dirtyRows) < db.cfg.CheckpointThreshold {
+			db.ckptWake.WaitTimeout(p, time.Second)
+			continue
+		}
+		rows := db.dirtyRows
+		db.dirtyRows = nil
+		for _, row := range rows {
+			db.k.VFS.Write(p, db.ckpt, db.table, row*cache.PageSize, cache.PageSize)
+		}
+		db.k.VFS.Fsync(p, db.ckpt, db.table)
+		// WAL space is reclaimed after a checkpoint.
+		db.Checkpoints++
+	}
+}

@@ -1,0 +1,64 @@
+package sqlitesim
+
+import (
+	"testing"
+	"time"
+
+	"splitio/internal/core"
+	"splitio/internal/sched/bdeadline"
+	"splitio/internal/sched/sdeadline"
+	"splitio/internal/schedtest"
+)
+
+func run(t *testing.T, factory core.Factory, threshold int, d time.Duration) *DB {
+	k := schedtest.Kernel(t, factory, nil)
+	cfg := DefaultConfig()
+	cfg.CheckpointThreshold = threshold
+	db := Open(k, cfg)
+	k.Run(d)
+	return db
+}
+
+func TestTransactionsCommit(t *testing.T) {
+	db := run(t, bdeadline.Factory, 1024, 20*time.Second)
+	if db.Txns() == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if db.Latencies.Count() == 0 {
+		t.Fatal("no latencies recorded")
+	}
+}
+
+func TestCheckpointsHappen(t *testing.T) {
+	db := run(t, bdeadline.Factory, 128, 30*time.Second)
+	if db.Checkpoints == 0 {
+		t.Fatal("no checkpoints ran")
+	}
+}
+
+// TestSplitDeadlineCutsTail (Fig 18): Split-Deadline's p99.9 transaction
+// latency is well below Block-Deadline's at the same threshold.
+func TestSplitDeadlineCutsTail(t *testing.T) {
+	block := run(t, bdeadline.Factory, 1024, 60*time.Second)
+	split := run(t, sdeadline.Factory, 1024, 60*time.Second)
+	bTail := block.Latencies.Percentile(99.9)
+	sTail := split.Latencies.Percentile(99.9)
+	if sTail*2 >= bTail {
+		t.Fatalf("split p99.9 = %v not well below block p99.9 = %v", sTail, bTail)
+	}
+	if split.Txns() == 0 || split.Checkpoints == 0 {
+		t.Fatal("split run made no progress")
+	}
+}
+
+// TestBiggerThresholdRaisesExtremeTail: concentrating checkpoint cost on
+// fewer transactions pushes the 99.9th percentile up under Block-Deadline.
+func TestThresholdAffectsTailShape(t *testing.T) {
+	small := run(t, bdeadline.Factory, 64, 40*time.Second)
+	big := run(t, bdeadline.Factory, 2048, 40*time.Second)
+	// With a big threshold checkpoints are rarer: fewer transactions are
+	// affected (lower p99) but the hit is larger when it lands.
+	if small.Checkpoints <= big.Checkpoints {
+		t.Fatalf("checkpoint counts: small=%d big=%d", small.Checkpoints, big.Checkpoints)
+	}
+}

@@ -1,0 +1,233 @@
+// Package block implements the simulated block layer: a request structure
+// carrying cross-layer cause tags, a dispatcher process that feeds one
+// request at a time to the device, and a pluggable Elevator interface that
+// is exactly the block-level hook surface of both the traditional Linux
+// framework and the split framework (requests added / dispatched /
+// completed). Block-level schedulers (CFQ, Block-Deadline) and the block
+// halves of split schedulers (AFQ, Split-Deadline, Split-Token) plug in
+// here.
+package block
+
+import (
+	"time"
+
+	"splitio/internal/causes"
+	"splitio/internal/device"
+	"splitio/internal/sim"
+)
+
+// Class is the I/O class visible at the block level (CFQ's notion).
+type Class int
+
+// I/O classes.
+const (
+	ClassBE   Class = iota // best effort (default)
+	ClassIdle              // only served when the disk is otherwise idle
+)
+
+// Request is one block-level I/O request.
+type Request struct {
+	Op     device.Op
+	LBA    int64 // in 4 KiB blocks
+	Blocks int
+
+	// Causes identifies the processes responsible for this I/O (split
+	// framework tagging). Block-only schedulers must not look at it; they
+	// see only Submitter/Prio/Class, mirroring what Linux gives them.
+	Causes causes.Set
+	// Submitter is the process that submitted the request to the block
+	// layer (possibly a proxy such as the writeback or journal task).
+	Submitter causes.PID
+	// Prio and Class are the submitter's I/O priority and class, which is
+	// all a block-level scheduler can see.
+	Prio  int
+	Class Class
+
+	// Sync marks requests some process is actively waiting on (reads and
+	// fsync-driven writes).
+	Sync bool
+	// Journal marks journal-transaction writes.
+	Journal bool
+	// Barrier marks sync-commit records that must flush the device cache.
+	Barrier bool
+	// Meta marks file-system metadata I/O.
+	Meta bool
+	// FileID is the inode number the request belongs to (0 for journal).
+	FileID int64
+	// Pages lists the file page indices a data write covers, letting split
+	// schedulers revise their memory-level cost estimates per page when the
+	// true on-disk cost is known (paper §3.2). Nil for reads and journal I/O.
+	Pages []int64
+
+	// Deadline is an absolute deadline, or zero for none (Block-Deadline
+	// fills this from per-process settings).
+	Deadline sim.Time
+
+	// Queued and Start record when the request entered the block layer and
+	// when dispatch began; Service is the device time consumed. They are
+	// filled by the layer.
+	Queued  sim.Time
+	Start   sim.Time
+	Service time.Duration
+
+	done *sim.Completion
+}
+
+// Bytes returns the request size in bytes.
+func (r *Request) Bytes() int64 { return int64(r.Blocks) * device.BlockSize }
+
+// Done returns the request's completion (valid after Submit).
+func (r *Request) Done() *sim.Completion { return r.done }
+
+// Elevator is the block-level scheduler hook surface. Add is called when a
+// request enters the block layer; Next is called by the dispatcher whenever
+// the device is free (returning nil leaves the device idle until the next
+// Kick, add, or completion); Completed is called when the device finishes a
+// request.
+type Elevator interface {
+	Name() string
+	Add(r *Request)
+	Next(now sim.Time) *Request
+	Completed(r *Request)
+}
+
+// Stats aggregates block-layer activity.
+type Stats struct {
+	Requests    int64
+	BlocksRead  int64
+	BlocksWrite int64
+	BusyTime    time.Duration
+}
+
+// Hooks receives framework-level notifications around the elevator. Split
+// schedulers use these for accounting revision; nil hooks are skipped.
+type Hooks interface {
+	BlockAdded(r *Request)
+	BlockDispatched(r *Request)
+	BlockCompleted(r *Request)
+}
+
+// Layer is the block layer: elevator + dispatcher + device.
+type Layer struct {
+	env   *sim.Env
+	disk  device.Disk
+	elv   Elevator
+	hooks Hooks
+	work  *sim.WaitQueue
+	busy  bool
+	stats Stats
+	// QueueDepth>1 is not modeled; the dispatcher issues one request at a
+	// time, matching the paper's single-spindle evaluation.
+}
+
+// NewLayer creates a block layer over disk using elv and starts its
+// dispatcher process.
+func NewLayer(env *sim.Env, disk device.Disk, elv Elevator) *Layer {
+	l := &Layer{env: env, disk: disk, elv: elv, work: sim.NewWaitQueue(env)}
+	env.Go("block-dispatch", l.dispatcher)
+	return l
+}
+
+// SetHooks installs framework hooks (may be nil).
+func (l *Layer) SetHooks(h Hooks) { l.hooks = h }
+
+// Elevator returns the installed elevator.
+func (l *Layer) Elevator() Elevator { return l.elv }
+
+// Disk returns the underlying device.
+func (l *Layer) Disk() device.Disk { return l.disk }
+
+// Stats returns a snapshot of the layer's counters.
+func (l *Layer) Stats() Stats { return l.stats }
+
+// Submit adds a request to the block layer and returns its completion.
+func (l *Layer) Submit(r *Request) *sim.Completion {
+	if r.Blocks <= 0 {
+		r.Blocks = 1
+	}
+	r.done = sim.NewCompletion(l.env)
+	r.Queued = l.env.Now()
+	l.stats.Requests++
+	l.elv.Add(r)
+	if l.hooks != nil {
+		l.hooks.BlockAdded(r)
+	}
+	l.Kick()
+	return r.done
+}
+
+// SubmitAndWait submits r and blocks p until it completes.
+func (l *Layer) SubmitAndWait(p *sim.Proc, r *Request) {
+	l.Submit(r).Wait(p)
+}
+
+// Kick wakes the dispatcher; elevators call this after internal timers
+// (e.g. CFQ idle-window expiry) make a request eligible.
+func (l *Layer) Kick() {
+	if !l.busy {
+		l.work.Signal()
+	}
+}
+
+func (l *Layer) dispatcher(p *sim.Proc) {
+	for {
+		r := l.elv.Next(p.Now())
+		if r == nil {
+			l.work.Wait(p)
+			continue
+		}
+		l.busy = true
+		r.Start = p.Now()
+		if l.hooks != nil {
+			l.hooks.BlockDispatched(r)
+		}
+		svc := l.disk.ServiceTime(r.Op, r.LBA, r.Blocks, time.Duration(p.Now()), r.Barrier)
+		p.Sleep(svc)
+		r.Service = svc
+		l.stats.BusyTime += svc
+		if r.Op == device.Read {
+			l.stats.BlocksRead += int64(r.Blocks)
+		} else {
+			l.stats.BlocksWrite += int64(r.Blocks)
+		}
+		l.busy = false
+		l.elv.Completed(r)
+		if l.hooks != nil {
+			l.hooks.BlockCompleted(r)
+		}
+		r.done.Complete()
+	}
+}
+
+// FIFO is the no-op elevator: requests are dispatched in arrival order with
+// no reordering, no idling, and no accounting. It doubles as the
+// framework-overhead baseline (Fig 9).
+type FIFO struct {
+	q []*Request
+}
+
+// NewFIFO returns an empty FIFO elevator.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Elevator.
+func (f *FIFO) Name() string { return "noop" }
+
+// Add implements Elevator.
+func (f *FIFO) Add(r *Request) { f.q = append(f.q, r) }
+
+// Next implements Elevator.
+func (f *FIFO) Next(now sim.Time) *Request {
+	if len(f.q) == 0 {
+		return nil
+	}
+	r := f.q[0]
+	copy(f.q, f.q[1:])
+	f.q = f.q[:len(f.q)-1]
+	return r
+}
+
+// Completed implements Elevator.
+func (f *FIFO) Completed(r *Request) {}
+
+// Len returns the number of queued requests.
+func (f *FIFO) Len() int { return len(f.q) }

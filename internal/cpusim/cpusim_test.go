@@ -1,0 +1,88 @@
+package cpusim
+
+import (
+	"testing"
+	"time"
+
+	"splitio/internal/sim"
+)
+
+func TestUseUncontended(t *testing.T) {
+	env := sim.NewEnv(1)
+	cpu := New(4)
+	var elapsed time.Duration
+	env.Go("w", func(p *sim.Proc) {
+		start := p.Now()
+		cpu.Use(p, 10*time.Millisecond)
+		elapsed = p.Now().Sub(start)
+	})
+	env.RunAll()
+	if elapsed != 10*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 10ms", elapsed)
+	}
+	env.Close()
+}
+
+func TestUseOversubscribed(t *testing.T) {
+	env := sim.NewEnv(1)
+	cpu := New(2)
+	var last sim.Time
+	for i := 0; i < 8; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			cpu.Use(p, 10*time.Millisecond)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	env.RunAll()
+	// 8 bursts on 2 cores: each stretches ~4x.
+	if last < sim.Time(30*time.Millisecond) {
+		t.Fatalf("finished at %v; oversubscription not modeled", last)
+	}
+	env.Close()
+}
+
+func TestUseZeroNoop(t *testing.T) {
+	env := sim.NewEnv(1)
+	cpu := New(1)
+	env.Go("w", func(p *sim.Proc) {
+		cpu.Use(p, 0)
+		if p.Now() != 0 {
+			t.Error("zero use advanced time")
+		}
+	})
+	env.RunAll()
+	env.Close()
+}
+
+func TestBusyTime(t *testing.T) {
+	env := sim.NewEnv(1)
+	cpu := New(4)
+	env.Go("w", func(p *sim.Proc) {
+		cpu.Use(p, 5*time.Millisecond)
+		cpu.Use(p, 5*time.Millisecond)
+	})
+	env.RunAll()
+	if cpu.BusyTime() != 10*time.Millisecond {
+		t.Fatalf("BusyTime = %v", cpu.BusyTime())
+	}
+	env.Close()
+}
+
+func TestCoresClamped(t *testing.T) {
+	if New(0).Cores() != 1 {
+		t.Fatal("cores not clamped to 1")
+	}
+}
+
+func TestStretch(t *testing.T) {
+	cpu := New(2)
+	if cpu.Stretch() != 1 {
+		t.Fatal("idle stretch != 1")
+	}
+	cpu.active = 6
+	if cpu.Stretch() != 3 {
+		t.Fatalf("stretch = %v, want 3", cpu.Stretch())
+	}
+}

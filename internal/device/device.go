@@ -1,0 +1,213 @@
+// Package device models storage devices for the simulated stack: a hard
+// disk with a distance-dependent seek model plus rotational latency (after
+// Ruemmler & Wilkes), and a flash SSD with flat access latency. These models
+// supply the random-vs-sequential cost asymmetry that every scheduler in the
+// paper estimates, charges for, or exploits.
+//
+// All addressing is in 4 KiB blocks (matching the page size used by the
+// cache and file-system layers).
+package device
+
+import (
+	"time"
+)
+
+// BlockSize is the device block size in bytes (one cache page).
+const BlockSize = 4096
+
+// Op is a device operation direction.
+type Op int
+
+// Operations.
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Disk models a storage device. ServiceTime is stateful: it advances the
+// head/NAND state, so calls must be made in dispatch order.
+type Disk interface {
+	// Name identifies the model (for reports).
+	Name() string
+	// ServiceTime returns the time to serve a request of n blocks at lba
+	// starting at virtual time now, updating internal positioning state.
+	// HDDs charge a rotational miss when a "sequential" request arrives
+	// after an idle gap (the target sector has rotated past) and for
+	// barrier writes (sync commits must hit the platter: the drive waits
+	// for the exact sector and drains its cache).
+	ServiceTime(op Op, lba int64, n int, now time.Duration, barrier bool) time.Duration
+	// SeqBandwidth returns sustained sequential bandwidth in bytes/second,
+	// the unit Split-Token normalizes costs to.
+	SeqBandwidth() float64
+	// Blocks returns the device capacity in blocks.
+	Blocks() int64
+}
+
+// HDD is a mechanical hard-disk model.
+type HDD struct {
+	// TrackSeek is the track-to-track (minimum non-zero) seek time.
+	TrackSeek time.Duration
+	// MaxSeek is the full-stroke seek time.
+	MaxSeek time.Duration
+	// RotationHalf is the average rotational latency (half a revolution).
+	RotationHalf time.Duration
+	// PerBlock is the media transfer time for one block.
+	PerBlock time.Duration
+	// NearThreshold is the block distance under which a miss costs only a
+	// settle (same-cylinder) delay rather than seek+rotation.
+	NearThreshold int64
+	// Settle is the cost of a near miss.
+	Settle time.Duration
+	// SeqGap is the idle gap after which even a head-aligned request pays
+	// a rotational miss (the sector has rotated past).
+	SeqGap time.Duration
+	// Capacity in blocks.
+	Capacity int64
+
+	head    int64
+	lastEnd time.Duration
+}
+
+// NewHDD returns a model of a 7200 RPM 500 GB SATA drive roughly matching
+// the paper's WD AAKX: ~125 MB/s sequential, ~8 ms average seek, 4.17 ms
+// average rotational latency (~75 random 4 KiB IOPS).
+func NewHDD() *HDD {
+	return &HDD{
+		TrackSeek:     800 * time.Microsecond,
+		MaxSeek:       16 * time.Millisecond,
+		RotationHalf:  4167 * time.Microsecond,
+		PerBlock:      32 * time.Microsecond, // 4096 B / 128 MB/s
+		NearThreshold: 256,                   // ~1 MiB: same-cylinder window
+		Settle:        1 * time.Millisecond,
+		SeqGap:        5 * time.Millisecond, // track cache hides sub-rotation gaps
+		Capacity:      500 << 30 / BlockSize,
+	}
+}
+
+// Name implements Disk.
+func (d *HDD) Name() string { return "hdd" }
+
+// Blocks implements Disk.
+func (d *HDD) Blocks() int64 { return d.Capacity }
+
+// SeqBandwidth implements Disk.
+func (d *HDD) SeqBandwidth() float64 {
+	return float64(BlockSize) / d.PerBlock.Seconds()
+}
+
+// seekTime models seek cost as min + (max-min)·sqrt(dist/capacity).
+func (d *HDD) seekTime(dist int64) time.Duration {
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 0 {
+		return 0
+	}
+	frac := float64(dist) / float64(d.Capacity)
+	if frac > 1 {
+		frac = 1
+	}
+	// sqrt profile: short seeks are much cheaper than full stroke.
+	return d.TrackSeek + time.Duration(float64(d.MaxSeek-d.TrackSeek)*sqrt(frac))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton's method; avoids importing math for a single call site and
+	// keeps the model dependency-free.
+	z := x
+	for i := 0; i < 20; i++ {
+		z -= (z*z - x) / (2 * z)
+	}
+	return z
+}
+
+// ServiceTime implements Disk.
+func (d *HDD) ServiceTime(op Op, lba int64, n int, now time.Duration, barrier bool) time.Duration {
+	if n <= 0 {
+		n = 1
+	}
+	dist := lba - d.head
+	if dist < 0 {
+		dist = -dist
+	}
+	var position time.Duration
+	switch {
+	case dist == 0:
+		// Head-aligned, but only free when the stream is continuous: after
+		// an idle gap the sector has rotated past and the drive waits for
+		// it to come around (this is why each journal commit costs a
+		// rotation on a real disk).
+		if now-d.lastEnd > d.SeqGap {
+			position = d.RotationHalf
+		}
+	case dist <= d.NearThreshold:
+		position = d.Settle
+	default:
+		position = d.seekTime(dist) + d.RotationHalf
+	}
+	if barrier && position < d.RotationHalf {
+		// A flush barrier cannot coalesce with the stream: the drive waits
+		// for the commit sector and drains its write cache.
+		position = d.RotationHalf
+	}
+	d.head = lba + int64(n)
+	svc := position + time.Duration(n)*d.PerBlock
+	d.lastEnd = now + svc
+	return svc
+}
+
+// SSD is a flash device model with flat access latency and a modest
+// write penalty; random and sequential costs are nearly identical.
+type SSD struct {
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	PerBlock     time.Duration
+	Capacity     int64
+}
+
+// NewSSD returns a model of an 80 GB SATA SSD roughly matching the paper's
+// Intel X25-M: ~250 MB/s sequential, ~85 µs random read latency.
+func NewSSD() *SSD {
+	return &SSD{
+		ReadLatency:  85 * time.Microsecond,
+		WriteLatency: 115 * time.Microsecond,
+		PerBlock:     16 * time.Microsecond, // 4096 B / 256 MB/s
+		Capacity:     80 << 30 / BlockSize,
+	}
+}
+
+// Name implements Disk.
+func (d *SSD) Name() string { return "ssd" }
+
+// Blocks implements Disk.
+func (d *SSD) Blocks() int64 { return d.Capacity }
+
+// SeqBandwidth implements Disk.
+func (d *SSD) SeqBandwidth() float64 {
+	return float64(BlockSize) / d.PerBlock.Seconds()
+}
+
+// ServiceTime implements Disk.
+func (d *SSD) ServiceTime(op Op, lba int64, n int, now time.Duration, barrier bool) time.Duration {
+	if n <= 0 {
+		n = 1
+	}
+	lat := d.ReadLatency
+	if op == Write {
+		lat = d.WriteLatency
+	}
+	if barrier {
+		lat += d.WriteLatency // cache flush
+	}
+	return lat + time.Duration(n)*d.PerBlock
+}

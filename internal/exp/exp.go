@@ -1,0 +1,173 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// as text tables: the motivation experiments (Figs 1, 3, 5, 6), framework
+// overheads (Figs 9, 10), the scheduler case studies (Figs 11-17), the
+// application studies (Figs 18-21), and Tables 1-3. Each experiment returns
+// a Table with formatted rows plus a Metrics map holding the headline
+// numbers benchmarks report and tests assert.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"splitio/internal/cache"
+	"splitio/internal/core"
+	"splitio/internal/sched/afq"
+	"splitio/internal/sched/bdeadline"
+	"splitio/internal/sched/cfq"
+	"splitio/internal/sched/noop"
+	"splitio/internal/sched/scstoken"
+	"splitio/internal/sched/sdeadline"
+	"splitio/internal/sched/stoken"
+	"splitio/internal/sim"
+	"splitio/internal/vfs"
+)
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+	// Series holds optional time series for timeline figures (Fig 1).
+	Series []SeriesRow
+	// Metrics holds the headline numbers (for benchmarks and tests).
+	Metrics map[string]float64
+}
+
+// SeriesRow is one labeled time series sampled at a fixed step.
+type SeriesRow struct {
+	Label  string
+	Step   time.Duration
+	Values []float64
+}
+
+// Options control experiment scale.
+type Options struct {
+	// Scale multiplies measurement windows (1.0 = full scale; benchmarks
+	// use less).
+	Scale float64
+	// Seed is the deterministic random seed.
+	Seed int64
+}
+
+// DefaultOptions runs at full scale with seed 1.
+func DefaultOptions() Options { return Options{Scale: 1, Seed: 1} }
+
+func (o Options) dur(d time.Duration) time.Duration {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	scaled := time.Duration(float64(d) * o.Scale)
+	if scaled < time.Second {
+		scaled = time.Second
+	}
+	return scaled
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) *Table
+}
+
+// All lists every experiment in paper order.
+var All = []Experiment{
+	{"fig1", "Write burst vs idle class", Fig1},
+	{"fig3", "CFQ buffered-write (un)fairness", Fig3},
+	{"fig5", "Block-Deadline latency entanglement", Fig5},
+	{"fig6", "SCS-Token isolation failure", Fig6},
+	{"fig9", "Framework time overhead", Fig9},
+	{"fig10", "Tag memory overhead", Fig10},
+	{"fig11", "AFQ vs CFQ priorities", Fig11},
+	{"fig12", "Fsync latency isolation", Fig12},
+	{"fig13", "Split-Token isolation (ext4)", Fig13},
+	{"fig14", "Split-Token vs SCS-Token", Fig14},
+	{"fig15", "Split-Token scalability", Fig15},
+	{"fig16", "Split-Token isolation (XFS)", Fig16},
+	{"fig17", "Metadata workloads: ext4 vs XFS", Fig17},
+	{"fig18", "SQLite transaction tails", Fig18},
+	{"fig19", "PostgreSQL fsync freeze", Fig19},
+	{"fig20", "QEMU isolation", Fig20},
+	{"fig21", "HDFS distributed isolation", Fig21},
+	{"table1", "Framework properties", Table1},
+	{"table2", "Split hooks", Table2},
+	{"table3", "Deadline settings", Table3},
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// factories maps scheduler names used by experiments.
+var factories = map[string]core.Factory{
+	"noop":           noop.Factory,
+	"cfq":            cfq.Factory,
+	"block-deadline": bdeadline.Factory,
+	"scs-token":      scstoken.Factory,
+	"afq":            afq.Factory,
+	"split-deadline": sdeadline.Factory,
+	"split-pdflush":  sdeadline.PdflushFactory,
+	"split-token":    stoken.Factory,
+}
+
+// newKernel builds an experiment machine: 256 MiB cache so multi-GiB scans
+// miss, HDD and ext4 unless mut overrides.
+func newKernel(sched string, o Options, mut func(*core.Options)) *core.Kernel {
+	opts := core.DefaultOptions()
+	opts.Seed = o.Seed
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	cc := cache.DefaultConfig()
+	cc.TotalPages = 256 << 20 / cache.PageSize
+	opts.Cache = &cc
+	if mut != nil {
+		mut(&opts)
+	}
+	return core.NewKernelOn(sim.NewEnv(opts.Seed), opts, factories[sched])
+}
+
+// measure resets the processes' counters, runs the kernel for d, and
+// returns each process's MB/s.
+func measure(k *core.Kernel, d time.Duration, procs ...*vfs.Process) []float64 {
+	start := k.Now()
+	for _, pr := range procs {
+		pr.BytesRead.Reset(start)
+		pr.BytesWritten.Reset(start)
+	}
+	k.Run(d)
+	now := k.Now()
+	out := make([]float64, len(procs))
+	for i, pr := range procs {
+		out[i] = pr.BytesRead.MBps(now) + pr.BytesWritten.MBps(now)
+	}
+	return out
+}
+
+func mbps(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// sortedMetricKeys helps render Metrics deterministically.
+func sortedMetricKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

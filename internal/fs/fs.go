@@ -1,0 +1,774 @@
+// Package fs implements the simulated journaling file systems.
+//
+// Both file systems share one engine (inodes, extents, delayed allocation,
+// ordered-mode journaling with transaction batching) and differ in split-
+// framework integration, mirroring the paper's §6:
+//
+//   - ext4sim is fully integrated: the writeback task and the journal task
+//     are marked as I/O proxies, so journal and delayed-allocation I/O is
+//     tagged with the processes that caused it.
+//   - xfssim is partially integrated: data buffers carry cause tags (two
+//     lines of integration, per the paper), but the journal task's writes
+//     are tagged with the journal task itself, so metadata I/O cannot be
+//     mapped back to its causes (Fig 17).
+//
+// The journaling model is ext4's ordered mode (paper §2.3.2): data blocks of
+// every file with updates in a transaction must reach disk before the
+// transaction commits, which entangles otherwise-independent fsyncs.
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"splitio/internal/block"
+	"splitio/internal/cache"
+	"splitio/internal/causes"
+	"splitio/internal/device"
+	"splitio/internal/ioctx"
+	"splitio/internal/sim"
+)
+
+// BlockSize is the file-system block size (equals the page size).
+const BlockSize = cache.PageSize
+
+// ErrNotFound is returned for paths that do not exist.
+var ErrNotFound = errors.New("fs: not found")
+
+// ErrExists is returned when creating a path that already exists.
+var ErrExists = errors.New("fs: exists")
+
+// File is an open file (inode) handle.
+type File struct {
+	Ino  int64
+	Path string
+
+	size    int64
+	extents []extent // sorted by file block
+}
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+type extent struct {
+	fileBlk int64
+	diskBlk int64
+	n       int64
+}
+
+// Config sets file-system parameters.
+type Config struct {
+	// CommitInterval is the periodic journal commit (jbd2's 5 s).
+	CommitInterval time.Duration
+	// MaxRunBlocks caps the size of one block-layer request.
+	MaxRunBlocks int
+	// JournalBlocks is the size of the journal region.
+	JournalBlocks int64
+	// TagJournalProxy marks the journal task as an I/O proxy so its writes
+	// carry the causes of the processes that added transaction updates.
+	// True for ext4sim (full integration); false for xfssim (partial).
+	TagJournalProxy bool
+	// CopyOnWrite never overwrites in place: every flush allocates fresh
+	// blocks and remaps the file, leaving garbage behind for a background
+	// cleaner — the proxy mechanism of copy-on-write file systems
+	// (paper §6: "for a copy-on-write file system, garbage collection
+	// would be another important proxy mechanism").
+	CopyOnWrite bool
+	// GCThresholdBlocks is the garbage level that wakes the cleaner.
+	GCThresholdBlocks int64
+	// GCBatch is how many live blocks the cleaner relocates per round.
+	GCBatch int
+	// Name labels the file system.
+	Name string
+}
+
+// Ext4Config returns the fully integrated ext4-like configuration.
+func Ext4Config() Config {
+	return Config{
+		CommitInterval:  5 * time.Second,
+		MaxRunBlocks:    256,
+		JournalBlocks:   32768, // 128 MiB
+		TagJournalProxy: true,
+		Name:            "ext4sim",
+	}
+}
+
+// XFSConfig returns the partially integrated XFS-like configuration.
+func XFSConfig() Config {
+	c := Ext4Config()
+	c.TagJournalProxy = false
+	c.Name = "xfssim"
+	return c
+}
+
+// COWConfig returns a copy-on-write file system (ZFS/btrfs-like): no
+// overwrite in place, checkpoint-style commits, and a garbage-collection
+// task acting as an I/O proxy for the owners of relocated data.
+func COWConfig() Config {
+	c := Ext4Config()
+	c.CopyOnWrite = true
+	c.GCThresholdBlocks = 16384 // 64 MiB of garbage wakes the cleaner
+	c.GCBatch = 256
+	c.Name = "cowsim"
+	return c
+}
+
+// txn is a journal transaction accumulating metadata updates.
+type txn struct {
+	id         int64
+	metaBlocks int64
+	tcauses    causes.Set
+	inos       map[int64]struct{} // inodes with updates in this txn
+	dataDeps   map[int64]struct{} // inodes whose dirty data must flush first
+	done       *sim.Completion
+	queued     bool
+}
+
+func (t *txn) has(ino int64) bool {
+	_, ok := t.inos[ino]
+	return ok
+}
+
+func (t *txn) empty() bool { return t.metaBlocks == 0 && len(t.inos) == 0 }
+
+// FS is the simulated journaling file system.
+type FS struct {
+	env   *sim.Env
+	cfg   Config
+	cache *cache.Cache
+	blk   *block.Layer
+
+	files   map[string]*File
+	byIno   map[int64]*File
+	nextIno int64
+
+	allocCursor  int64
+	journalStart int64
+	journalHead  int64
+
+	running    *txn
+	committing *txn
+	nextTxnID  int64
+	commitQ    []*txn
+	commitWake *sim.WaitQueue
+
+	jctx  *ioctx.Ctx // journal task identity
+	wbCtx *ioctx.Ctx // writeback task identity (shared with the cache)
+
+	inflight      map[int64]int // per-ino data writes in flight
+	inflightDones map[int64][]*sim.Completion
+	inflightWake  *sim.WaitQueue
+
+	// Copy-on-write state.
+	garbageBlocks int64
+	fileOwners    map[int64]causes.Set // ino -> original writer causes
+	gcWake        *sim.WaitQueue
+	gcCtx         *ioctx.Ctx
+
+	// Stats.
+	statCommits      int64
+	statJournalBlks  int64
+	statDataFlushed  int64
+	statOrderedFlush int64
+	statGCRelocated  int64
+}
+
+// New creates a file system over cache and blk. jctx and wbCtx are the
+// journal and writeback task identities; the file system installs itself as
+// the cache's writeback function.
+func New(env *sim.Env, cfg Config, c *cache.Cache, blk *block.Layer, jctx, wbCtx *ioctx.Ctx) *FS {
+	f := &FS{
+		env:           env,
+		cfg:           cfg,
+		cache:         c,
+		blk:           blk,
+		files:         make(map[string]*File),
+		byIno:         make(map[int64]*File),
+		nextIno:       1,
+		commitWake:    sim.NewWaitQueue(env),
+		inflight:      make(map[int64]int),
+		inflightDones: make(map[int64][]*sim.Completion),
+		inflightWake:  sim.NewWaitQueue(env),
+		jctx:          jctx,
+		wbCtx:         wbCtx,
+	}
+	// Place the journal in the middle of the disk, data from the front.
+	f.journalStart = blk.Disk().Blocks() / 2
+	f.journalHead = 0
+	f.allocCursor = 1024
+	f.running = f.newTxn()
+	env.Go("jbd", f.journalTask)
+	env.Go("jbd-timer", f.commitTimer)
+	if cfg.CopyOnWrite {
+		f.fileOwners = make(map[int64]causes.Set)
+		f.gcWake = sim.NewWaitQueue(env)
+		f.gcCtx = &ioctx.Ctx{PID: 4, Name: "gc", Prio: 4}
+		env.Go("gc", f.gcTask)
+	}
+	c.SetWriteback(f.writebackFile)
+	return f
+}
+
+// Name returns the configured file-system name.
+func (f *FS) Name() string { return f.cfg.Name }
+
+// Cache returns the page cache the file system uses.
+func (f *FS) Cache() *cache.Cache { return f.cache }
+
+// Block returns the block layer.
+func (f *FS) Block() *block.Layer { return f.blk }
+
+func (f *FS) newTxn() *txn {
+	f.nextTxnID++
+	return &txn{
+		id:       f.nextTxnID,
+		inos:     make(map[int64]struct{}),
+		dataDeps: make(map[int64]struct{}),
+		done:     sim.NewCompletion(f.env),
+	}
+}
+
+// Lookup returns the file at path.
+func (f *FS) Lookup(path string) (*File, bool) {
+	file, ok := f.files[path]
+	return file, ok
+}
+
+// FileByIno returns the file with the given inode number.
+func (f *FS) FileByIno(ino int64) (*File, bool) {
+	file, ok := f.byIno[ino]
+	return file, ok
+}
+
+// MkFileContiguous creates a file of size bytes with a contiguous on-disk
+// layout, bypassing the journal. It models a file that existed before the
+// experiment (read workloads scan such files).
+func (f *FS) MkFileContiguous(path string, size int64) *File {
+	file := &File{Ino: f.nextIno, Path: path, size: size}
+	f.nextIno++
+	blocks := (size + BlockSize - 1) / BlockSize
+	if blocks > 0 {
+		file.extents = []extent{{fileBlk: 0, diskBlk: f.allocCursor, n: blocks}}
+		f.allocCursor += blocks
+	}
+	f.files[path] = file
+	f.byIno[file.Ino] = file
+	return file
+}
+
+// Create makes a new empty file, dirtying directory and inode metadata in
+// the running transaction on behalf of ctx (paper: creat is a metadata
+// write exposed to the scheduler).
+func (f *FS) Create(p *sim.Proc, ctx *ioctx.Ctx, path string) (*File, error) {
+	if _, ok := f.files[path]; ok {
+		return nil, fmt.Errorf("create %s: %w", path, ErrExists)
+	}
+	file := &File{Ino: f.nextIno, Path: path}
+	f.nextIno++
+	f.files[path] = file
+	f.byIno[file.Ino] = file
+	// Directory block + inode table block.
+	f.txnJoin(file.Ino, ctx.Causes(), 2, false)
+	return file, nil
+}
+
+// Mkdir creates a directory; in this model it is a pure metadata update.
+func (f *FS) Mkdir(p *sim.Proc, ctx *ioctx.Ctx, path string) error {
+	if _, ok := f.files[path]; ok {
+		return fmt.Errorf("mkdir %s: %w", path, ErrExists)
+	}
+	file := &File{Ino: f.nextIno, Path: path}
+	f.nextIno++
+	f.files[path] = file
+	f.byIno[file.Ino] = file
+	f.txnJoin(file.Ino, ctx.Causes(), 2, false)
+	return nil
+}
+
+// Unlink removes a file, freeing its cached pages (the buffer-free hook
+// fires for dirty pages whose I/O work vanished).
+func (f *FS) Unlink(p *sim.Proc, ctx *ioctx.Ctx, path string) error {
+	file, ok := f.files[path]
+	if !ok {
+		return fmt.Errorf("unlink %s: %w", path, ErrNotFound)
+	}
+	f.cache.FreeFile(file.Ino)
+	delete(f.files, path)
+	delete(f.byIno, file.Ino)
+	f.txnJoin(file.Ino, ctx.Causes(), 2, false)
+	return nil
+}
+
+// txnJoin records a metadata update for ino in the running transaction.
+func (f *FS) txnJoin(ino int64, cs causes.Set, metaBlocks int64, dataDep bool) {
+	t := f.running
+	t.inos[ino] = struct{}{}
+	t.metaBlocks += metaBlocks
+	t.tcauses = t.tcauses.Union(cs)
+	if dataDep {
+		t.dataDeps[ino] = struct{}{}
+	}
+}
+
+// Write dirties the page range [off, off+n) of file on behalf of ctx. The
+// inode's metadata (size/mtime, and eventually block allocations) joins the
+// running transaction, creating the ordered-mode data dependency.
+func (f *FS) Write(p *sim.Proc, ctx *ioctx.Ctx, file *File, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	if off+n > file.size {
+		file.size = off + n
+	}
+	first := off / BlockSize
+	last := (off + n - 1) / BlockSize
+	for idx := first; idx <= last; idx++ {
+		f.cache.MarkDirty(ctx, file.Ino, idx)
+	}
+	if f.cfg.CopyOnWrite {
+		f.cowNoteOwner(file.Ino, ctx.Causes())
+	}
+	f.txnJoin(file.Ino, ctx.Causes(), 1, true)
+}
+
+// Read serves the page range [off, off+n): cache hits cost nothing here
+// (the CPU copy charge lives in the VFS layer); misses become block reads
+// tagged with ctx's causes. Contiguous misses coalesce into one request per
+// on-disk run.
+func (f *FS) Read(p *sim.Proc, ctx *ioctx.Ctx, file *File, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	first := off / BlockSize
+	last := (off + n - 1) / BlockSize
+	var missRun []int64
+	var dones []*sim.Completion
+	flush := func() {
+		if len(missRun) == 0 {
+			return
+		}
+		dones = append(dones, f.submitReadRuns(ctx, file, missRun)...)
+		missRun = missRun[:0]
+	}
+	for idx := first; idx <= last; idx++ {
+		if f.cache.Lookup(file.Ino, idx) {
+			flush()
+			continue
+		}
+		missRun = append(missRun, idx)
+	}
+	flush()
+	for _, d := range dones {
+		d.Wait(p)
+	}
+}
+
+// submitReadRuns maps the missed page indices to disk runs and submits one
+// request per run, inserting clean pages on completion.
+func (f *FS) submitReadRuns(ctx *ioctx.Ctx, file *File, idxs []int64) []*sim.Completion {
+	var dones []*sim.Completion
+	i := 0
+	for i < len(idxs) {
+		diskBlk, mapped := f.lookupBlock(file, idxs[i])
+		if !mapped {
+			// Sparse read: zero-fill, no I/O.
+			f.cache.InsertClean(file.Ino, idxs[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(idxs) && j-i < f.cfg.MaxRunBlocks {
+			next, ok := f.lookupBlock(file, idxs[j])
+			if !ok || idxs[j] != idxs[j-1]+1 || next != diskBlk+int64(j-i) {
+				break
+			}
+			j++
+		}
+		run := idxs[i:j]
+		req := &block.Request{
+			Op:        device.Read,
+			LBA:       diskBlk,
+			Blocks:    j - i,
+			Causes:    ctx.Causes(),
+			Submitter: ctx.PID,
+			Prio:      ctx.Prio,
+			Class:     ctx.Class,
+			Sync:      true,
+			FileID:    file.Ino,
+		}
+		if ctx.ReadDeadline > 0 {
+			req.Deadline = f.env.Now().Add(ctx.ReadDeadline)
+		}
+		ino := file.Ino
+		done := f.blk.Submit(req)
+		done.OnComplete(func() {
+			for _, idx := range run {
+				f.cache.InsertClean(ino, idx)
+			}
+		})
+		dones = append(dones, done)
+		i = j
+	}
+	return dones
+}
+
+func (f *FS) lookupBlock(file *File, fileBlk int64) (int64, bool) {
+	for _, e := range file.extents {
+		if fileBlk >= e.fileBlk && fileBlk < e.fileBlk+e.n {
+			return e.diskBlk + (fileBlk - e.fileBlk), true
+		}
+	}
+	return 0, false
+}
+
+// allocate maps fileBlk..fileBlk+n-1 to fresh disk blocks (delayed
+// allocation happens here, at flush time).
+func (f *FS) allocate(file *File, fileBlk, n int64) int64 {
+	diskBlk := f.allocCursor
+	f.allocCursor += n
+	// Merge with the previous extent when contiguous in both spaces.
+	if len(file.extents) > 0 {
+		lastE := &file.extents[len(file.extents)-1]
+		if lastE.fileBlk+lastE.n == fileBlk && lastE.diskBlk+lastE.n == diskBlk {
+			lastE.n += n
+			return diskBlk
+		}
+	}
+	file.extents = append(file.extents, extent{fileBlk: fileBlk, diskBlk: diskBlk, n: n})
+	sort.Slice(file.extents, func(i, j int) bool {
+		return file.extents[i].fileBlk < file.extents[j].fileBlk
+	})
+	return diskBlk
+}
+
+// flushFileData takes up to max dirty pages of ino (all if max<=0),
+// allocates any unmapped blocks (marking ctx as a proxy for the pages'
+// causes while it does delegation work), submits the writes, and — when
+// sync — waits for completion. It returns the number of pages submitted.
+func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync bool) int {
+	file, ok := f.byIno[ino]
+	if !ok {
+		// Unlinked while dirty: nothing to do.
+		f.cache.TakeDirty(ino, max)
+		return 0
+	}
+	idxs, tags := f.cache.TakeDirty(ino, max)
+	if len(idxs) == 0 {
+		return 0
+	}
+	// Delegation: the flusher acts on behalf of the pages' causes while
+	// allocating (delayed allocation dirties metadata for other processes).
+	var union causes.Set
+	for _, t := range tags {
+		union = union.Union(t)
+	}
+	proxied := false
+	if ctx != nil && (ctx == f.wbCtx || ctx == f.jctx) {
+		ctx.BeginProxy(union)
+		proxied = true
+		defer ctx.EndProxy()
+	}
+	// Allocate unmapped runs; allocation is a metadata update that joins
+	// the running transaction, charged to the proxied causes. In
+	// copy-on-write mode every flushed run gets fresh blocks, remapping the
+	// file and leaving garbage behind.
+	allocated := false
+	i := 0
+	if f.cfg.CopyOnWrite {
+		for i < len(idxs) {
+			j := i + 1
+			for j < len(idxs) && idxs[j] == idxs[j-1]+1 {
+				j++
+			}
+			f.cowRemap(file, idxs[i], int64(j-i))
+			allocated = true
+			i = j
+		}
+	} else {
+		for i < len(idxs) {
+			if _, mapped := f.lookupBlock(file, idxs[i]); mapped {
+				i++
+				continue
+			}
+			j := i + 1
+			for j < len(idxs) && idxs[j] == idxs[j-1]+1 {
+				if _, mapped := f.lookupBlock(file, idxs[j]); mapped {
+					break
+				}
+				j++
+			}
+			f.allocate(file, idxs[i], int64(j-i))
+			allocated = true
+			i = j
+		}
+	}
+	i = 0
+	if allocated {
+		who := union
+		if !proxied && ctx != nil {
+			who = ctx.Causes()
+		}
+		f.txnJoin(ino, who, 1, false)
+	}
+	// Submit one request per contiguous on-disk run. Background writeback
+	// submits async requests even though the daemon waits for pacing —
+	// only fsync- and commit-driven writes are urgent at the block level.
+	reqSync := sync && ctx != f.wbCtx
+	var dones []*sim.Completion
+	i = 0
+	f.inflight[ino] += len(idxs)
+	for i < len(idxs) {
+		diskBlk, _ := f.lookupBlock(file, idxs[i])
+		runCauses := tags[i]
+		j := i + 1
+		for j < len(idxs) && j-i < f.cfg.MaxRunBlocks {
+			next, _ := f.lookupBlock(file, idxs[j])
+			if idxs[j] != idxs[j-1]+1 || next != diskBlk+int64(j-i) {
+				break
+			}
+			runCauses = runCauses.Union(tags[j])
+			j++
+		}
+		req := &block.Request{
+			Op:        device.Write,
+			LBA:       diskBlk,
+			Blocks:    j - i,
+			Causes:    runCauses,
+			Submitter: pidOf(ctx),
+			Prio:      prioOf(ctx),
+			Class:     classOf(ctx),
+			Sync:      reqSync,
+			FileID:    ino,
+			Pages:     append([]int64(nil), idxs[i:j]...),
+		}
+		if ctx != nil && ctx.WriteDeadline > 0 {
+			req.Deadline = f.env.Now().Add(ctx.WriteDeadline)
+		}
+		nblks := j - i
+		done := f.blk.Submit(req)
+		done.OnComplete(func() {
+			f.inflight[ino] -= nblks
+			if f.inflight[ino] <= 0 {
+				delete(f.inflight, ino)
+				f.inflightWake.Broadcast()
+			}
+		})
+		f.inflightDones[ino] = append(f.inflightDones[ino], done)
+		dones = append(dones, done)
+		i = j
+	}
+	f.statDataFlushed += int64(len(idxs))
+	if sync {
+		for _, d := range dones {
+			d.Wait(p)
+		}
+	}
+	return len(idxs)
+}
+
+func pidOf(c *ioctx.Ctx) causes.PID {
+	if c == nil {
+		return 0
+	}
+	return c.PID
+}
+
+func prioOf(c *ioctx.Ctx) int {
+	if c == nil {
+		return 4
+	}
+	return c.Prio
+}
+
+func classOf(c *ioctx.Ctx) block.Class {
+	if c == nil {
+		return block.ClassBE
+	}
+	return c.Class
+}
+
+// waitInflight blocks p until every data write for ino that was in flight
+// at call time has completed. It is a snapshot barrier, not a quiescence
+// wait: writes submitted afterwards are not waited on, so a saturated
+// writeback pipeline cannot starve fsync or the journal task.
+func (f *FS) waitInflight(p *sim.Proc, ino int64) {
+	snapshot := append([]*sim.Completion(nil), f.inflightDones[ino]...)
+	for _, d := range snapshot {
+		d.Wait(p)
+	}
+	// Prune completed entries so the list stays small.
+	live := f.inflightDones[ino][:0]
+	for _, d := range f.inflightDones[ino] {
+		if !d.Done() {
+			live = append(live, d)
+		}
+	}
+	if len(live) == 0 {
+		delete(f.inflightDones, ino)
+	} else {
+		f.inflightDones[ino] = live
+	}
+}
+
+// writebackFile is the cache's WritebackFn: flush a batch of ino's dirty
+// pages on behalf of the writeback task (asynchronously submitted, but the
+// daemon waits so it paces itself at disk speed).
+func (f *FS) writebackFile(p *sim.Proc, ino int64, max int) int {
+	return f.flushFileData(p, f.wbCtx, ino, max, true)
+}
+
+// Fsync flushes file's dirty data and then forces the transaction containing
+// its metadata to commit, waiting for durability (paper Fig 4). Independent
+// processes' data entangles here: ordered mode flushes every data dependency
+// of the transaction before the commit record.
+func (f *FS) Fsync(p *sim.Proc, ctx *ioctx.Ctx, file *File) {
+	f.waitInflight(p, file.Ino)
+	f.flushFileData(p, ctx, file.Ino, 0, true)
+	if f.running.has(file.Ino) {
+		t := f.running
+		f.requestCommit(t)
+		t.done.Wait(p)
+		return
+	}
+	if f.committing != nil && f.committing.has(file.Ino) {
+		f.committing.done.Wait(p)
+	}
+}
+
+// SyncAll flushes all dirty data and commits the running transaction.
+func (f *FS) SyncAll(p *sim.Proc, ctx *ioctx.Ctx) {
+	for ino := range f.byIno {
+		f.flushFileData(p, ctx, ino, 0, true)
+	}
+	if !f.running.empty() {
+		t := f.running
+		f.requestCommit(t)
+		t.done.Wait(p)
+	}
+}
+
+func (f *FS) requestCommit(t *txn) {
+	if t.queued || t.done.Done() {
+		return
+	}
+	t.queued = true
+	f.commitQ = append(f.commitQ, t)
+	f.commitWake.Signal()
+}
+
+// commitTimer periodically commits the running transaction, like jbd2.
+func (f *FS) commitTimer(p *sim.Proc) {
+	for {
+		p.Sleep(f.cfg.CommitInterval)
+		if !f.running.empty() {
+			f.requestCommit(f.running)
+		}
+	}
+}
+
+// journalTask is the jbd2-like kernel thread that commits transactions.
+func (f *FS) journalTask(p *sim.Proc) {
+	for {
+		if len(f.commitQ) == 0 {
+			f.commitWake.Wait(p)
+			continue
+		}
+		t := f.commitQ[0]
+		f.commitQ = f.commitQ[1:]
+		f.commit(p, t)
+	}
+}
+
+func (f *FS) commit(p *sim.Proc, t *txn) {
+	if t == f.running {
+		f.running = f.newTxn()
+	}
+	f.committing = t
+	// Ordered mode: every data dependency must reach disk before the
+	// commit record. This is the entanglement the split framework must
+	// work around (paper §2.3.2).
+	deps := make([]int64, 0, len(t.dataDeps))
+	for ino := range t.dataDeps {
+		deps = append(deps, ino)
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	for _, ino := range deps {
+		f.waitInflight(p, ino)
+		n := f.flushFileData(p, f.jctx, ino, 0, true)
+		f.statOrderedFlush += int64(n)
+	}
+	// Journal writes: descriptor + metadata blocks + commit record, laid
+	// out sequentially in the journal region.
+	jcauses := causes.Of(f.jctx.PID)
+	if f.cfg.TagJournalProxy {
+		f.jctx.BeginProxy(t.tcauses)
+		jcauses = f.jctx.Causes()
+	}
+	nblocks := t.metaBlocks + 1
+	if nblocks > f.cfg.JournalBlocks/2 {
+		nblocks = f.cfg.JournalBlocks / 2
+	}
+	lba := f.journalStart + f.journalHead
+	f.journalHead = (f.journalHead + nblocks + 1) % f.cfg.JournalBlocks
+	desc := &block.Request{
+		Op:        device.Write,
+		LBA:       lba,
+		Blocks:    int(nblocks),
+		Causes:    jcauses,
+		Submitter: f.jctx.PID,
+		Prio:      f.jctx.Prio,
+		Journal:   true,
+		Meta:      true,
+		Sync:      true,
+	}
+	f.blk.SubmitAndWait(p, desc)
+	commitRec := &block.Request{
+		Op:        device.Write,
+		LBA:       lba + nblocks,
+		Blocks:    1,
+		Causes:    jcauses,
+		Submitter: f.jctx.PID,
+		Prio:      f.jctx.Prio,
+		Journal:   true,
+		Meta:      true,
+		Sync:      true,
+		Barrier:   true,
+	}
+	f.blk.SubmitAndWait(p, commitRec)
+	if f.cfg.TagJournalProxy {
+		f.jctx.EndProxy()
+	}
+	f.statCommits++
+	f.statJournalBlks += nblocks + 1
+	f.committing = nil
+	t.done.Complete()
+}
+
+// RunningTxnInfo reports the running transaction's metadata block count and
+// the total dirty pages of its data dependencies — the quantities
+// Split-Deadline uses to estimate commit cost.
+func (f *FS) RunningTxnInfo() (metaBlocks int64, depDirtyPages int64) {
+	t := f.running
+	for ino := range t.dataDeps {
+		depDirtyPages += f.cache.FileDirtyPages(ino)
+	}
+	return t.metaBlocks, depDirtyPages
+}
+
+// Commits returns the number of committed transactions.
+func (f *FS) Commits() int64 { return f.statCommits }
+
+// JournalBlocksWritten returns total journal blocks written.
+func (f *FS) JournalBlocksWritten() int64 { return f.statJournalBlks }
+
+// OrderedFlushPages returns pages flushed due to ordered-mode dependencies.
+func (f *FS) OrderedFlushPages() int64 { return f.statOrderedFlush }
+
+// DataPagesFlushed returns total data pages flushed.
+func (f *FS) DataPagesFlushed() int64 { return f.statDataFlushed }
+
+// FragmentationOf returns the number of extents of a file, a proxy for
+// layout quality used in tests.
+func (f *FS) FragmentationOf(file *File) int { return len(file.extents) }

@@ -1,0 +1,158 @@
+package afq
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"splitio/internal/block"
+	"splitio/internal/metrics"
+	"splitio/internal/schedtest"
+	"splitio/internal/sim"
+	"splitio/internal/vfs"
+	"splitio/internal/workload"
+)
+
+// TestReadPriority: AFQ matches CFQ for reads (Fig 11a).
+func TestReadPriority(t *testing.T) {
+	k := schedtest.Kernel(t, Factory, nil)
+	prios := []int{0, 2, 4, 6}
+	procs := make([]*vfs.Process, len(prios))
+	for i, prio := range prios {
+		f := schedtest.BigFile(k, fmt.Sprintf("/r%d", i), 2<<30)
+		procs[i] = k.Spawn(fmt.Sprintf("reader%d", i), prio, func(p *sim.Proc, pr *vfs.Process) {
+			workload.SeqReader(k, p, pr, f, 1<<20)
+		})
+	}
+	schedtest.Warm(k, 2*time.Second)
+	tp := schedtest.Throughputs(k, 20*time.Second, procs...)
+	for i := 0; i < len(tp)-1; i++ {
+		if tp[i] <= tp[i+1] {
+			t.Fatalf("priority order violated: %v", tp)
+		}
+	}
+	if ratio := tp[0] / tp[3]; ratio < 1.5 {
+		t.Fatalf("prio0/prio6 ratio = %.2f (tp=%v)", ratio, tp)
+	}
+}
+
+// TestAsyncWritePriority: unlike CFQ, AFQ respects priorities for buffered
+// writes via split tags (Fig 11b).
+func TestAsyncWritePriority(t *testing.T) {
+	k := schedtest.Kernel(t, Factory, nil)
+	prios := []int{0, 2, 4, 6}
+	procs := make([]*vfs.Process, len(prios))
+	for i, prio := range prios {
+		path := fmt.Sprintf("/w%d", i)
+		procs[i] = k.Spawn(fmt.Sprintf("writer%d", i), prio, func(p *sim.Proc, pr *vfs.Process) {
+			f, err := k.VFS.Create(p, pr, path)
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			workload.SeqWriter(k, p, pr, f, 1<<20, 8<<30)
+		})
+	}
+	schedtest.Warm(k, 10*time.Second)
+	tp := schedtest.Throughputs(k, 40*time.Second, procs...)
+	ideal := []float64{8, 6, 4, 2}
+	dev := metrics.DeviationFromIdeal(tp, ideal)
+	if dev > 0.45 {
+		t.Fatalf("AFQ async writes deviate %.2f from priority ideal (tp=%v)", dev, tp)
+	}
+}
+
+// TestSyncWritePriority: random write+fsync loops respect priority
+// (Fig 11c), where CFQ fails at 86% deviation.
+func TestSyncWritePriority(t *testing.T) {
+	// Like the paper's Fig 11c: several threads per priority level, each
+	// doing random 4 KB write+fsync loops; pass ordering engages when
+	// fsyncs queue up at the gate.
+	k := schedtest.Kernel(t, Factory, nil)
+	const perPrio = 4
+	prios := []int{0, 4}
+	groups := make([][]*vfs.Process, len(prios))
+	for gi, prio := range prios {
+		for j := 0; j < perPrio; j++ {
+			f := schedtest.BigFile(k, fmt.Sprintf("/s%d_%d", gi, j), 512<<20)
+			pr := k.Spawn(fmt.Sprintf("syncer%d_%d", gi, j), prio, func(p *sim.Proc, pr *vfs.Process) {
+				workload.RandWriteFsync(k, p, pr, f, 4096, 512<<20, 1)
+			})
+			groups[gi] = append(groups[gi], pr)
+		}
+	}
+	schedtest.Warm(k, 5*time.Second)
+	all := append(append([]*vfs.Process{}, groups[0]...), groups[1]...)
+	tp := schedtest.Throughputs(k, 60*time.Second, all...)
+	var hi, lo float64
+	for i := 0; i < perPrio; i++ {
+		hi += tp[i]
+		lo += tp[perPrio+i]
+	}
+	if hi <= lo {
+		t.Fatalf("high-priority group not favored: hi=%.3f lo=%.3f (tp=%v)", hi, lo, tp)
+	}
+	if ratio := hi / lo; ratio < 1.3 {
+		t.Fatalf("prio0/prio4 group ratio = %.2f, want > 1.3", ratio)
+	}
+}
+
+// TestIdleWriterGated: an idle-class writer cannot pollute the write buffer
+// while a best-effort reader is active (the split fix for Fig 1).
+func TestIdleWriterGated(t *testing.T) {
+	k := schedtest.Kernel(t, Factory, nil)
+	fa := schedtest.BigFile(k, "/a", 2<<30)
+	fb := schedtest.BigFile(k, "/b", 1<<30)
+	a := k.Spawn("reader", 4, func(p *sim.Proc, pr *vfs.Process) {
+		workload.SeqReader(k, p, pr, fa, 1<<20)
+	})
+	b := k.Spawn("idler", 7, func(p *sim.Proc, pr *vfs.Process) {
+		pr.Ctx.Class = block.ClassIdle
+		workload.RandWriter(k, p, pr, fb, 4096, 1<<30)
+	})
+	schedtest.Warm(k, time.Second)
+	tp := schedtest.Throughputs(k, 20*time.Second, a, b)
+	if tp[0] < 80 {
+		t.Fatalf("reader degraded to %.1f MB/s by idle writer", tp[0])
+	}
+	if tp[1] > 5 {
+		t.Fatalf("idle writer got %.1f MB/s while reader active", tp[1])
+	}
+}
+
+// TestMemoryOverwritesUnthrottled: overwriting cached data runs at memory
+// speed (Fig 11d — no disk contention, no gating).
+func TestMemoryOverwritesUnthrottled(t *testing.T) {
+	k := schedtest.Kernel(t, Factory, nil)
+	pr := k.Spawn("mem", 4, func(p *sim.Proc, pr *vfs.Process) {
+		f, err := k.VFS.Create(p, pr, "/m")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		workload.MemWriter(k, p, pr, f, 4<<20)
+	})
+	schedtest.Warm(k, time.Second)
+	tp := schedtest.Throughputs(k, 5*time.Second, pr)
+	if tp[0] < 500 {
+		t.Fatalf("memory overwrites at %.1f MB/s, want memory speed", tp[0])
+	}
+}
+
+// TestChargesCausesNotSubmitter: block completions bill the tagged causes
+// even though pdflush submitted the I/O.
+func TestChargesCausesNotSubmitter(t *testing.T) {
+	k := schedtest.Kernel(t, Factory, nil)
+	s := k.Sched.(*Sched)
+	pr := k.Spawn("w", 4, func(p *sim.Proc, pr *vfs.Process) {
+		f, _ := k.VFS.Create(p, pr, "/f")
+		k.VFS.Write(p, pr, f, 0, 1<<20)
+	})
+	k.Run(time.Minute) // pdflush flushes
+	if s.Pass(pr.PID()) == 0 {
+		t.Fatal("writer never charged for delegated writeback")
+	}
+	if s.Pass(k.WBCtx.PID) != 0 {
+		t.Fatal("pdflush itself was charged")
+	}
+}

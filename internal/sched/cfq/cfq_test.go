@@ -1,0 +1,124 @@
+package cfq
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"splitio/internal/fs"
+	"splitio/internal/metrics"
+	"splitio/internal/schedtest"
+	"splitio/internal/sim"
+	"splitio/internal/vfs"
+	"splitio/internal/workload"
+)
+
+// TestReadPriority: synchronous sequential readers at different priorities
+// should receive throughput roughly proportional to priority (Fig 11a,
+// where CFQ behaves correctly).
+func TestReadPriority(t *testing.T) {
+	k := schedtest.Kernel(t, Factory, nil)
+	prios := []int{0, 2, 4, 6}
+	procs := make([]*vfs.Process, len(prios))
+	for i, prio := range prios {
+		f := schedtest.BigFile(k, fmt.Sprintf("/r%d", i), 2<<30)
+		i := i
+		procs[i] = k.Spawn(fmt.Sprintf("reader%d", i), prio, func(p *sim.Proc, pr *vfs.Process) {
+			workload.SeqReader(k, p, pr, f, 1<<20)
+		})
+	}
+	schedtest.Warm(k, 2*time.Second)
+	tp := schedtest.Throughputs(k, 20*time.Second, procs...)
+	for i := 0; i < len(tp)-1; i++ {
+		if tp[i] <= tp[i+1] {
+			t.Fatalf("priority order violated: %v", tp)
+		}
+	}
+	if ratio := tp[0] / tp[3]; ratio < 1.5 {
+		t.Fatalf("prio0/prio6 ratio = %.2f, want > 1.5 (tp=%v)", ratio, tp)
+	}
+}
+
+// TestWritePriorityIgnored: buffered sequential writers at different
+// priorities all look like pdflush to CFQ, so their throughputs are
+// roughly equal (Fig 3).
+func TestWritePriorityIgnored(t *testing.T) {
+	k := schedtest.Kernel(t, Factory, nil)
+	prios := []int{0, 2, 4, 6}
+	procs := make([]*vfs.Process, len(prios))
+	for i, prio := range prios {
+		path := fmt.Sprintf("/w%d", i)
+		i := i
+		procs[i] = k.Spawn(fmt.Sprintf("writer%d", i), prio, func(p *sim.Proc, pr *vfs.Process) {
+			f, err := k.VFS.Create(p, pr, path)
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			workload.SeqWriter(k, p, pr, f, 1<<20, 4<<30)
+		})
+	}
+	schedtest.Warm(k, 5*time.Second)
+	tp := schedtest.Throughputs(k, 30*time.Second, procs...)
+	ideal := []float64{8, 6, 4, 2}
+	dev := metrics.DeviationFromIdeal(tp, ideal)
+	uniform := metrics.DeviationFromIdeal([]float64{1, 1, 1, 1}, ideal)
+	// CFQ's write allocation should look much closer to uniform than to the
+	// priority ideal.
+	if dev < uniform/2 {
+		t.Fatalf("CFQ writes unexpectedly respect priority: tp=%v dev=%.2f uniform=%.2f", tp, dev, uniform)
+	}
+}
+
+// TestIdleClassServedWhenAlone: an idle-class submitter still makes
+// progress when nothing else wants the disk.
+func TestIdleClassServedWhenAlone(t *testing.T) {
+	k := schedtest.Kernel(t, Factory, nil)
+	f := schedtest.BigFile(k, "/idle", 1<<30)
+	pr := k.Spawn("idler", 7, func(p *sim.Proc, pr *vfs.Process) {
+		pr.Ctx.Class = 1 // block.ClassIdle
+		workload.SeqReader(k, p, pr, f, 1<<20)
+	})
+	tp := schedtest.Throughputs(k, 5*time.Second, pr)
+	if tp[0] < 10 {
+		t.Fatalf("lone idle-class reader got %.1f MB/s", tp[0])
+	}
+}
+
+// TestAnticipationPreservesSequentialStreams: two sequential readers should
+// each sustain a decent fraction of disk bandwidth rather than seeking on
+// every request.
+func TestAnticipationPreservesSequentialStreams(t *testing.T) {
+	k := schedtest.Kernel(t, Factory, nil)
+	fa := schedtest.BigFile(k, "/a", 2<<30)
+	fb := schedtest.BigFile(k, "/b", 2<<30)
+	a := k.Spawn("a", 4, func(p *sim.Proc, pr *vfs.Process) {
+		workload.SeqReader(k, p, pr, fa, 1<<20)
+	})
+	b := k.Spawn("b", 4, func(p *sim.Proc, pr *vfs.Process) {
+		workload.SeqReader(k, p, pr, fb, 1<<20)
+	})
+	schedtest.Warm(k, time.Second)
+	tp := schedtest.Throughputs(k, 10*time.Second, a, b)
+	total := tp[0] + tp[1]
+	if total < 40 {
+		t.Fatalf("two seq readers totaled %.1f MB/s; slices/anticipation broken", total)
+	}
+	// Equal priorities: within 2x of each other.
+	hi, lo := tp[0], tp[1]
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if hi/lo > 2 {
+		t.Fatalf("equal-priority readers diverged: %v", tp)
+	}
+}
+
+func TestQueuedForEmpty(t *testing.T) {
+	k := schedtest.Kernel(t, Factory, nil)
+	s := k.Sched.(*Sched)
+	if s.QueuedFor(12345) != 0 {
+		t.Fatal("unknown pid should have empty queue")
+	}
+	_ = fs.ErrNotFound // keep fs import for BigFile type inference clarity
+}

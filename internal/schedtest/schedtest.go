@@ -1,0 +1,68 @@
+// Package schedtest provides shared fixtures for scheduler integration
+// tests: a small-RAM kernel (so large-file scans always miss the cache) and
+// helpers that run the paper's canonical antagonist pairs.
+package schedtest
+
+import (
+	"testing"
+	"time"
+
+	"splitio/internal/cache"
+	"splitio/internal/core"
+	"splitio/internal/fs"
+	"splitio/internal/sim"
+	"splitio/internal/vfs"
+)
+
+// SmallCache is a 256 MiB cache config: big enough for dirty buffering,
+// small enough that multi-GiB scans never hit.
+func SmallCache() cache.Config {
+	c := cache.DefaultConfig()
+	c.TotalPages = 256 << 20 / cache.PageSize
+	return c
+}
+
+// Kernel builds a kernel with the small cache; mut (optional) tweaks
+// options first. The kernel is closed at test cleanup.
+func Kernel(t *testing.T, factory core.Factory, mut func(*core.Options)) *core.Kernel {
+	t.Helper()
+	opts := core.DefaultOptions()
+	cc := SmallCache()
+	opts.Cache = &cc
+	if mut != nil {
+		mut(&opts)
+	}
+	k := core.NewKernel(opts, factory)
+	t.Cleanup(k.Close)
+	return k
+}
+
+// BigFile creates a contiguous file of size bytes.
+func BigFile(k *core.Kernel, path string, size int64) *fs.File {
+	return k.FS.MkFileContiguous(path, size)
+}
+
+// Throughputs runs the kernel for d and returns each process's MB/s of
+// reads+writes over the window, in spawn order. Counters are reset first.
+func Throughputs(k *core.Kernel, d time.Duration, procs ...*vfs.Process) []float64 {
+	start := k.Now()
+	for _, pr := range procs {
+		pr.BytesRead.Reset(start)
+		pr.BytesWritten.Reset(start)
+	}
+	k.Run(d)
+	now := k.Now()
+	out := make([]float64, len(procs))
+	for i, pr := range procs {
+		out[i] = pr.BytesRead.MBps(now) + pr.BytesWritten.MBps(now)
+	}
+	return out
+}
+
+// Warm runs the kernel for d to let workloads reach steady state.
+func Warm(k *core.Kernel, d time.Duration) { k.Run(d) }
+
+// SpawnLoop spawns a process whose body loops forever via fn.
+func SpawnLoop(k *core.Kernel, name string, prio int, fn func(p *sim.Proc, pr *vfs.Process)) *vfs.Process {
+	return k.Spawn(name, prio, fn)
+}

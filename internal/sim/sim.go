@@ -1,0 +1,383 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a virtual clock and an ordered event queue. Simulated
+// processes are cooperative goroutines: exactly one process (or event
+// callback) runs at a time, and control returns to the event loop whenever a
+// process sleeps or blocks on a wait queue. Events scheduled for the same
+// instant fire in scheduling order, so runs are fully deterministic.
+//
+// All time is virtual: a Time is nanoseconds since the start of the run, and
+// durations use time.Duration for readability (time.Millisecond etc.) even
+// though no wall-clock time passes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time s.
+func (t Time) Sub(s Time) time.Duration { return time.Duration(t - s) }
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock, an event queue, and the
+// set of processes it drives. An Env is not safe for concurrent use; all
+// interaction must happen from within the simulation (process bodies and
+// event callbacks) or before/after Run.
+type Env struct {
+	now    Time
+	events eventHeap
+	seq    int64
+	rng    *rand.Rand
+	procs  []*Proc
+	park   chan struct{}
+	cur    *Proc
+	closed bool
+}
+
+// NewEnv returns a new environment whose clock starts at zero and whose
+// random stream is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:  rand.New(rand.NewSource(seed)),
+		park: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random stream.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at the current time plus delay. A negative delay is
+// treated as zero. fn runs in the event loop; it must not block.
+func (e *Env) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now.Add(delay), fn)
+}
+
+// ScheduleAt runs fn at time at (or now, if at is in the past).
+func (e *Env) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// procKilled is the panic sentinel used to unwind killed processes.
+type procKilled struct{}
+
+// Proc is a simulated process: a goroutine that runs cooperatively under the
+// environment's event loop.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	dead   bool
+	killed bool
+	// blocked reports whether the proc is parked awaiting an external
+	// wake-up (wait queue); sleeping procs are woken by their own timer.
+	blocked bool
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns a new process that starts running at the current virtual time.
+// The process body runs cooperatively: it holds the simulation until it
+// sleeps, waits, or returns.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			p.dead = true
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					// Re-panicking here would crash a bare goroutine with no
+					// useful trace back to the simulation; annotate instead.
+					panic(fmt.Sprintf("sim: process %q panicked: %v", name, r))
+				}
+			}
+			e.park <- struct{}{}
+		}()
+		if p.killed {
+			panic(procKilled{})
+		}
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.runProc(p) })
+	return p
+}
+
+// runProc hands control to p until it blocks or exits.
+func (e *Env) runProc(p *Proc) {
+	if p.dead {
+		return
+	}
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-e.park
+	e.cur = prev
+}
+
+// block parks the calling process until something calls env.runProc on it.
+func (p *Proc) block() {
+	p.env.park <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		// Even a zero-length sleep yields to the event loop so that other
+		// events scheduled for this instant may run.
+		d = 0
+	}
+	e := p.env
+	e.Schedule(d, func() { e.runProc(p) })
+	p.block()
+}
+
+// Yield lets any other events scheduled for the current instant run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill marks the process for termination; the next time it would run it
+// unwinds instead. Killing a dead process is a no-op.
+func (p *Proc) Kill() {
+	if p.dead || p.killed {
+		return
+	}
+	p.killed = true
+	if p != p.env.cur {
+		p.env.Schedule(0, func() { p.env.runProc(p) })
+	}
+}
+
+// Run advances the simulation until no events remain or until the virtual
+// clock would pass until. It returns the final virtual time. Events exactly
+// at until still run.
+func (e *Env) Run(until Time) Time {
+	if e.closed {
+		panic("sim: Run on closed Env")
+	}
+	for e.events.Len() > 0 {
+		ev := e.events[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll advances the simulation until no events remain.
+func (e *Env) RunAll() Time {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Close terminates every live process so their goroutines exit. The
+// environment must not be used afterwards.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, p := range e.procs {
+		if p.dead {
+			continue
+		}
+		p.killed = true
+		e.runProc(p)
+	}
+	e.procs = nil
+}
+
+// WaitQueue is a FIFO queue of blocked processes. Wakers schedule wake-ups
+// as zero-delay events, so a woken process resumes at the current virtual
+// instant but after the waker yields.
+type WaitQueue struct {
+	env     *Env
+	waiters []*waiter
+}
+
+type waiter struct {
+	p     *Proc
+	fired bool // signaled or timed out; entry is dead
+	sig   bool // woken by Signal (vs timeout)
+}
+
+// NewWaitQueue returns an empty wait queue on env.
+func NewWaitQueue(env *Env) *WaitQueue { return &WaitQueue{env: env} }
+
+// Len returns the number of blocked processes.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Wait blocks p until another process or event signals the queue.
+func (q *WaitQueue) Wait(p *Proc) {
+	w := &waiter{p: p}
+	q.waiters = append(q.waiters, w)
+	p.blocked = true
+	p.block()
+	p.blocked = false
+}
+
+// WaitTimeout blocks p until the queue is signaled or d elapses. It reports
+// whether the wake-up was a signal (true) rather than a timeout (false).
+func (q *WaitQueue) WaitTimeout(p *Proc, d time.Duration) bool {
+	w := &waiter{p: p}
+	q.waiters = append(q.waiters, w)
+	q.env.Schedule(d, func() {
+		if w.fired {
+			return
+		}
+		w.fired = true
+		for i, x := range q.waiters {
+			if x == w {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				break
+			}
+		}
+		q.env.runProc(p)
+	})
+	p.blocked = true
+	p.block()
+	p.blocked = false
+	return w.sig
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (q *WaitQueue) Signal() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	w := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	w.fired = true
+	w.sig = true
+	q.env.Schedule(0, func() { q.env.runProc(w.p) })
+}
+
+// Broadcast wakes every blocked process in FIFO order.
+func (q *WaitQueue) Broadcast() {
+	for len(q.waiters) > 0 {
+		q.Signal()
+	}
+}
+
+// Completion is a one-shot event that processes can wait on. Waiting on an
+// already-completed Completion returns immediately.
+type Completion struct {
+	env  *Env
+	done bool
+	q    []*Proc
+	fns  []func()
+}
+
+// NewCompletion returns an incomplete Completion on env.
+func NewCompletion(env *Env) *Completion { return &Completion{env: env} }
+
+// Done reports whether Complete has been called.
+func (c *Completion) Done() bool { return c.done }
+
+// Complete marks the completion done and wakes all waiters. Completing twice
+// is a no-op.
+func (c *Completion) Complete() {
+	if c.done {
+		return
+	}
+	c.done = true
+	// Callbacks run before waiters resume: completion side effects (e.g.
+	// inserting read pages into the cache) must be visible to whoever was
+	// blocked on the completion.
+	for _, fn := range c.fns {
+		c.env.Schedule(0, fn)
+	}
+	c.fns = nil
+	for _, p := range c.q {
+		proc := p
+		c.env.Schedule(0, func() { c.env.runProc(proc) })
+	}
+	c.q = nil
+}
+
+// Wait blocks p until the completion is done.
+func (c *Completion) Wait(p *Proc) {
+	if c.done {
+		return
+	}
+	c.q = append(c.q, p)
+	p.block()
+}
+
+// OnComplete runs fn (as a zero-delay event) once the completion is done.
+func (c *Completion) OnComplete(fn func()) {
+	if c.done {
+		c.env.Schedule(0, fn)
+		return
+	}
+	c.fns = append(c.fns, fn)
+}

@@ -1,0 +1,125 @@
+// Package stride implements stride scheduling (Waldspurger & Weihl),
+// the deterministic proportional-share algorithm AFQ uses to pick which
+// process's I/O to serve next at both the system-call and block levels
+// (paper §5.1).
+//
+// Each client holds tickets; serving cost c advances the client's pass by
+// c/tickets. The scheduler always picks the eligible client with the lowest
+// pass, yielding long-run shares proportional to tickets.
+package stride
+
+import "math"
+
+type client struct {
+	tickets int
+	pass    float64
+}
+
+// Stride is a proportional-share picker over int64-identified clients.
+type Stride struct {
+	clients map[int64]*client
+}
+
+// New returns an empty scheduler.
+func New() *Stride {
+	return &Stride{clients: make(map[int64]*client)}
+}
+
+// Ensure registers id with the given ticket count (or updates the count).
+// New clients join at the current minimum pass so they cannot monopolize
+// service with accumulated credit.
+func (s *Stride) Ensure(id int64, tickets int) {
+	if tickets < 1 {
+		tickets = 1
+	}
+	if c, ok := s.clients[id]; ok {
+		c.tickets = tickets
+		return
+	}
+	s.clients[id] = &client{tickets: tickets, pass: s.minPass()}
+}
+
+// Remove deregisters a client.
+func (s *Stride) Remove(id int64) { delete(s.clients, id) }
+
+// Len returns the number of clients.
+func (s *Stride) Len() int { return len(s.clients) }
+
+// Tickets returns id's ticket count (0 if unknown).
+func (s *Stride) Tickets(id int64) int {
+	if c, ok := s.clients[id]; ok {
+		return c.tickets
+	}
+	return 0
+}
+
+func (s *Stride) minPass() float64 {
+	min := math.Inf(1)
+	for _, c := range s.clients {
+		if c.pass < min {
+			min = c.pass
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// Charge advances id's pass by cost/tickets. Unknown ids are registered
+// with one ticket.
+func (s *Stride) Charge(id int64, cost float64) {
+	c, ok := s.clients[id]
+	if !ok {
+		s.Ensure(id, 1)
+		c = s.clients[id]
+	}
+	c.pass += cost / float64(c.tickets)
+}
+
+// Pass returns id's pass value.
+func (s *Stride) Pass(id int64) float64 {
+	if c, ok := s.clients[id]; ok {
+		return c.pass
+	}
+	return 0
+}
+
+// PickMin returns the eligible client with the lowest pass. eligible may be
+// nil, meaning all clients are eligible. Ties break on lower id for
+// determinism.
+func (s *Stride) PickMin(eligible func(id int64) bool) (int64, bool) {
+	best := int64(0)
+	bestPass := math.Inf(1)
+	found := false
+	for id, c := range s.clients {
+		if eligible != nil && !eligible(id) {
+			continue
+		}
+		if !found || c.pass < bestPass || (c.pass == bestPass && id < best) {
+			best, bestPass, found = id, c.pass, true
+		}
+	}
+	return best, found
+}
+
+// IsMin reports whether id has the (joint) lowest pass among clients
+// accepted by eligible.
+func (s *Stride) IsMin(id int64, eligible func(id int64) bool) bool {
+	c, ok := s.clients[id]
+	if !ok {
+		return false
+	}
+	for oid, oc := range s.clients {
+		if oid == id {
+			continue
+		}
+		if eligible != nil && !eligible(oid) {
+			continue
+		}
+		if oc.pass < c.pass {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package stride
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSharesProportionalProperty: for random ticket assignments, long-run
+// service counts are proportional to tickets within a small tolerance.
+func TestSharesProportionalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		n := 2 + rng.Intn(5)
+		tickets := make([]int, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			tickets[i] = 1 + rng.Intn(8)
+			total += tickets[i]
+			s.Ensure(int64(i), tickets[i])
+		}
+		served := make([]int, n)
+		const rounds = 20000
+		for r := 0; r < rounds; r++ {
+			id, ok := s.PickMin(nil)
+			if !ok {
+				return false
+			}
+			served[id]++
+			s.Charge(id, 1)
+		}
+		for i := 0; i < n; i++ {
+			want := float64(rounds) * float64(tickets[i]) / float64(total)
+			got := float64(served[i])
+			if got < want*0.95-2 || got > want*1.05+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPassMonotoneProperty: a client's pass never decreases under charges.
+func TestPassMonotoneProperty(t *testing.T) {
+	f := func(charges []uint16) bool {
+		s := New()
+		s.Ensure(1, 3)
+		prev := s.Pass(1)
+		for _, c := range charges {
+			s.Charge(1, float64(c))
+			if s.Pass(1) < prev {
+				return false
+			}
+			prev = s.Pass(1)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVariableCostCharging: shares stay proportional when service costs
+// vary per pick (disk-time charging, not counts).
+func TestVariableCostCharging(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := New()
+	s.Ensure(1, 4)
+	s.Ensure(2, 2)
+	cost := map[int64]float64{}
+	var totalCost float64
+	for totalCost < 100000 {
+		id, _ := s.PickMin(nil)
+		c := 1 + rng.Float64()*20
+		cost[id] += c
+		totalCost += c
+		s.Charge(id, c)
+	}
+	ratio := cost[1] / cost[2]
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("cost share ratio = %.2f, want ~2", ratio)
+	}
+}

@@ -1,0 +1,132 @@
+package stride
+
+import (
+	"testing"
+)
+
+func TestProportionalShares(t *testing.T) {
+	s := New()
+	s.Ensure(1, 3) // 3 tickets
+	s.Ensure(2, 1) // 1 ticket
+	served := map[int64]int{}
+	for i := 0; i < 4000; i++ {
+		id, ok := s.PickMin(nil)
+		if !ok {
+			t.Fatal("PickMin found nothing")
+		}
+		served[id]++
+		s.Charge(id, 1)
+	}
+	ratio := float64(served[1]) / float64(served[2])
+	if ratio < 2.8 || ratio > 3.2 {
+		t.Fatalf("share ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestLateJoinerNoMonopoly(t *testing.T) {
+	s := New()
+	s.Ensure(1, 1)
+	for i := 0; i < 1000; i++ {
+		s.Charge(1, 1)
+	}
+	s.Ensure(2, 1) // joins at current min pass (=1000)
+	served := map[int64]int{}
+	for i := 0; i < 100; i++ {
+		id, _ := s.PickMin(nil)
+		served[id]++
+		s.Charge(id, 1)
+	}
+	if served[2] > 60 {
+		t.Fatalf("late joiner monopolized: %v", served)
+	}
+}
+
+func TestEligibilityFilter(t *testing.T) {
+	s := New()
+	s.Ensure(1, 8)
+	s.Ensure(2, 1)
+	id, ok := s.PickMin(func(id int64) bool { return id == 2 })
+	if !ok || id != 2 {
+		t.Fatalf("PickMin with filter = %d, %v", id, ok)
+	}
+}
+
+func TestPickMinEmpty(t *testing.T) {
+	s := New()
+	if _, ok := s.PickMin(nil); ok {
+		t.Fatal("PickMin on empty should fail")
+	}
+	s.Ensure(1, 1)
+	if _, ok := s.PickMin(func(int64) bool { return false }); ok {
+		t.Fatal("PickMin with nothing eligible should fail")
+	}
+}
+
+func TestChargeUnknownRegisters(t *testing.T) {
+	s := New()
+	s.Charge(7, 10)
+	if s.Tickets(7) != 1 {
+		t.Fatal("Charge did not auto-register")
+	}
+	if s.Pass(7) != 10 {
+		t.Fatalf("pass = %v", s.Pass(7))
+	}
+}
+
+func TestIsMin(t *testing.T) {
+	s := New()
+	s.Ensure(1, 1)
+	s.Ensure(2, 1)
+	s.Charge(1, 5)
+	if s.IsMin(1, nil) {
+		t.Fatal("1 should not be min")
+	}
+	if !s.IsMin(2, nil) {
+		t.Fatal("2 should be min")
+	}
+	if s.IsMin(99, nil) {
+		t.Fatal("unknown id cannot be min")
+	}
+	// With 1 filtered out of comparison set, 1 is trivially min of itself.
+	if !s.IsMin(1, func(id int64) bool { return id == 1 }) {
+		t.Fatal("eligibility filter ignored")
+	}
+}
+
+func TestTicketsClampedAndUpdated(t *testing.T) {
+	s := New()
+	s.Ensure(1, 0)
+	if s.Tickets(1) != 1 {
+		t.Fatal("tickets not clamped to 1")
+	}
+	s.Ensure(1, 5)
+	if s.Tickets(1) != 5 {
+		t.Fatal("tickets not updated")
+	}
+	if s.Len() != 1 {
+		t.Fatal("re-Ensure duplicated client")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := New()
+	s.Ensure(1, 1)
+	s.Remove(1)
+	if s.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+	if s.Pass(1) != 0 {
+		t.Fatal("Pass of removed should be 0")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	s := New()
+	s.Ensure(5, 1)
+	s.Ensure(3, 1)
+	s.Ensure(9, 1)
+	id, _ := s.PickMin(nil)
+	if id != 3 {
+		t.Fatalf("tie broke to %d, want lowest id 3", id)
+	}
+}

@@ -1,0 +1,82 @@
+// Package tokenbucket implements the continuous-refill token bucket used by
+// SCS-Token and Split-Token (paper §5.3). Tokens represent normalized bytes;
+// a bucket may go negative (charges are applied when the cost is learned,
+// possibly after the fact), and throttled work waits until the balance is
+// non-negative again.
+package tokenbucket
+
+import (
+	"time"
+
+	"splitio/internal/sim"
+)
+
+// Bucket is a token bucket with continuous refill.
+type Bucket struct {
+	rate   float64 // tokens per second
+	cap    float64 // maximum balance
+	tokens float64
+	last   sim.Time
+}
+
+// New returns a bucket refilled at rate tokens/second, holding at most cap
+// tokens, starting full.
+func New(rate, cap float64) *Bucket {
+	return &Bucket{rate: rate, cap: cap, tokens: cap}
+}
+
+// Rate returns the refill rate.
+func (b *Bucket) Rate() float64 { return b.rate }
+
+// refill advances the balance to now.
+func (b *Bucket) refill(now sim.Time) {
+	if now <= b.last {
+		return
+	}
+	b.tokens += b.rate * now.Sub(b.last).Seconds()
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.last = now
+}
+
+// Tokens returns the balance at now.
+func (b *Bucket) Tokens(now sim.Time) float64 {
+	b.refill(now)
+	return b.tokens
+}
+
+// Charge deducts n tokens at now; the balance may go negative.
+func (b *Bucket) Charge(now sim.Time, n float64) {
+	b.refill(now)
+	b.tokens -= n
+}
+
+// Refund returns n tokens at now (cost revision discovered the work was
+// cheaper than estimated).
+func (b *Bucket) Refund(now sim.Time, n float64) {
+	b.refill(now)
+	b.tokens += n
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+}
+
+// Positive reports whether the balance at now is non-negative.
+func (b *Bucket) Positive(now sim.Time) bool {
+	return b.Tokens(now) >= 0
+}
+
+// UntilPositive returns how long from now until the balance reaches zero
+// (zero if already non-negative).
+func (b *Bucket) UntilPositive(now sim.Time) time.Duration {
+	b.refill(now)
+	if b.tokens >= 0 {
+		return 0
+	}
+	if b.rate <= 0 {
+		return time.Hour // effectively forever; callers re-check
+	}
+	secs := -b.tokens / b.rate
+	return time.Duration(secs * float64(time.Second))
+}

@@ -1,0 +1,81 @@
+package tokenbucket
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"splitio/internal/sim"
+)
+
+// TestBalanceNeverExceedsCap: under arbitrary charge/refund/advance
+// sequences the balance never exceeds the cap.
+func TestBalanceNeverExceedsCap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cap := 1 + rng.Float64()*1000
+		b := New(rng.Float64()*100, cap)
+		now := sim.Time(0)
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				b.Charge(now, rng.Float64()*500)
+			case 1:
+				b.Refund(now, rng.Float64()*500)
+			case 2:
+				now = now.Add(time.Duration(rng.Intn(1000)) * time.Millisecond)
+			}
+			if b.Tokens(now) > cap+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefillNeverNegativeRate: the balance is nondecreasing while no
+// charges happen.
+func TestRefillNeverNegativeRate(t *testing.T) {
+	f := func(deltasRaw []uint16) bool {
+		b := New(50, 100)
+		b.Charge(0, 500) // go deep negative
+		now := sim.Time(0)
+		prev := b.Tokens(now)
+		for _, d := range deltasRaw {
+			now = now.Add(time.Duration(d) * time.Microsecond)
+			cur := b.Tokens(now)
+			if cur < prev-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThroughputMatchesRate: a saturating consumer draining the bucket
+// achieves exactly the refill rate in the long run.
+func TestThroughputMatchesRate(t *testing.T) {
+	b := New(1000, 500)
+	now := sim.Time(0)
+	var consumed float64
+	for now < sim.Time(100*time.Second) {
+		if b.Positive(now) {
+			b.Charge(now, 100)
+			consumed += 100
+		} else {
+			now = now.Add(b.UntilPositive(now))
+		}
+	}
+	rate := consumed / 100
+	if rate < 950 || rate > 1100 {
+		t.Fatalf("long-run rate = %.1f, want ~1000", rate)
+	}
+}

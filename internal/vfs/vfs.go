@@ -1,0 +1,232 @@
+// Package vfs is the system-call layer of the simulated stack: it owns the
+// process table, charges CPU for syscall paths and memory copies, applies
+// dirty-ratio throttling on writes, and exposes the system-call hooks of the
+// scheduling frameworks (entry/exit for read, write, fsync, create, mkdir —
+// paper Table 2). A scheduler delays a call simply by sleeping in its entry
+// hook.
+package vfs
+
+import (
+	"time"
+
+	"splitio/internal/cache"
+	"splitio/internal/causes"
+	"splitio/internal/cpusim"
+	"splitio/internal/fs"
+	"splitio/internal/ioctx"
+	"splitio/internal/metrics"
+	"splitio/internal/sim"
+)
+
+// Hooks are the system-call-level scheduler notifications. Entry hooks run
+// before the call body (and may sleep to delay it); exit hooks run after.
+// Any field may be nil. Read hooks exist for the SCS baseline; split
+// schedulers leave them nil (reads are scheduled below the cache).
+type Hooks struct {
+	ReadEntry  func(p *sim.Proc, c *ioctx.Ctx, f *fs.File, off, n int64)
+	ReadExit   func(p *sim.Proc, c *ioctx.Ctx, f *fs.File, off, n int64, hit bool)
+	WriteEntry func(p *sim.Proc, c *ioctx.Ctx, f *fs.File, off, n int64)
+	WriteExit  func(p *sim.Proc, c *ioctx.Ctx, f *fs.File, off, n int64)
+	FsyncEntry func(p *sim.Proc, c *ioctx.Ctx, f *fs.File)
+	FsyncExit  func(p *sim.Proc, c *ioctx.Ctx, f *fs.File, took time.Duration)
+	CreatEntry func(p *sim.Proc, c *ioctx.Ctx, path string)
+	CreatExit  func(p *sim.Proc, c *ioctx.Ctx, path string)
+	MkdirEntry func(p *sim.Proc, c *ioctx.Ctx, path string)
+	MkdirExit  func(p *sim.Proc, c *ioctx.Ctx, path string)
+	// UnlinkEntry/Exit cover unlink, the metadata call the paper lists as
+	// straightforward future work (§4.2).
+	UnlinkEntry func(p *sim.Proc, c *ioctx.Ctx, path string)
+	UnlinkExit  func(p *sim.Proc, c *ioctx.Ctx, path string)
+}
+
+// Process is a simulated user process: an I/O identity plus activity
+// counters the experiments read.
+type Process struct {
+	Ctx *ioctx.Ctx
+
+	BytesRead    metrics.Counter
+	BytesWritten metrics.Counter
+	Fsyncs       metrics.Histogram
+	Reads        metrics.Histogram
+	Writes       metrics.Histogram
+}
+
+// PID returns the process id.
+func (pr *Process) PID() causes.PID { return pr.Ctx.PID }
+
+// VFS is the system-call layer.
+type VFS struct {
+	env   *sim.Env
+	fs    *fs.FS
+	cpu   *cpusim.CPU
+	hooks Hooks
+
+	nextPID causes.PID
+	procs   map[causes.PID]*Process
+
+	// SyscallCPU is the fixed CPU cost of entering a syscall.
+	SyscallCPU time.Duration
+	// CopyPageCPU is the CPU cost of copying one page to/from user space.
+	CopyPageCPU time.Duration
+	// ThrottleWrites applies the cache's dirty-ratio throttling inside
+	// write (Linux's balance_dirty_pages). Schedulers that take over
+	// writeback control may disable it.
+	ThrottleWrites bool
+}
+
+// New creates the syscall layer. The first user PID is 100 (kernel task
+// identities live below that).
+func New(env *sim.Env, filesystem *fs.FS, cpu *cpusim.CPU) *VFS {
+	return &VFS{
+		env:            env,
+		fs:             filesystem,
+		cpu:            cpu,
+		nextPID:        100,
+		procs:          make(map[causes.PID]*Process),
+		SyscallCPU:     2 * time.Microsecond,
+		CopyPageCPU:    400 * time.Nanosecond,
+		ThrottleWrites: true,
+	}
+}
+
+// SetHooks installs the scheduler's syscall hooks.
+func (v *VFS) SetHooks(h Hooks) { v.hooks = h }
+
+// FS returns the mounted file system.
+func (v *VFS) FS() *fs.FS { return v.fs }
+
+// NewProcess registers a process with the given name and I/O priority.
+func (v *VFS) NewProcess(name string, prio int) *Process {
+	pid := v.nextPID
+	v.nextPID++
+	pr := &Process{Ctx: &ioctx.Ctx{PID: pid, Name: name, Prio: prio}}
+	pr.BytesRead.Start(v.env.Now())
+	pr.BytesWritten.Start(v.env.Now())
+	v.procs[pid] = pr
+	return pr
+}
+
+// Process returns the process with the given pid.
+func (v *VFS) Process(pid causes.PID) (*Process, bool) {
+	pr, ok := v.procs[pid]
+	return pr, ok
+}
+
+// Processes returns all registered processes.
+func (v *VFS) Processes() []*Process {
+	out := make([]*Process, 0, len(v.procs))
+	for pid := causes.PID(0); pid < v.nextPID; pid++ {
+		if pr, ok := v.procs[pid]; ok {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// Open returns the file at path.
+func (v *VFS) Open(path string) (*fs.File, error) {
+	f, ok := v.fs.Lookup(path)
+	if !ok {
+		return nil, fs.ErrNotFound
+	}
+	return f, nil
+}
+
+// Create makes a new file via the creat syscall path.
+func (v *VFS) Create(p *sim.Proc, pr *Process, path string) (*fs.File, error) {
+	if v.hooks.CreatEntry != nil {
+		v.hooks.CreatEntry(p, pr.Ctx, path)
+	}
+	v.cpu.Use(p, v.SyscallCPU)
+	f, err := v.fs.Create(p, pr.Ctx, path)
+	if v.hooks.CreatExit != nil {
+		v.hooks.CreatExit(p, pr.Ctx, path)
+	}
+	return f, err
+}
+
+// Mkdir makes a directory.
+func (v *VFS) Mkdir(p *sim.Proc, pr *Process, path string) error {
+	if v.hooks.MkdirEntry != nil {
+		v.hooks.MkdirEntry(p, pr.Ctx, path)
+	}
+	v.cpu.Use(p, v.SyscallCPU)
+	err := v.fs.Mkdir(p, pr.Ctx, path)
+	if v.hooks.MkdirExit != nil {
+		v.hooks.MkdirExit(p, pr.Ctx, path)
+	}
+	return err
+}
+
+// Unlink removes a file.
+func (v *VFS) Unlink(p *sim.Proc, pr *Process, path string) error {
+	if v.hooks.UnlinkEntry != nil {
+		v.hooks.UnlinkEntry(p, pr.Ctx, path)
+	}
+	v.cpu.Use(p, v.SyscallCPU)
+	err := v.fs.Unlink(p, pr.Ctx, path)
+	if v.hooks.UnlinkExit != nil {
+		v.hooks.UnlinkExit(p, pr.Ctx, path)
+	}
+	return err
+}
+
+// Read performs a read syscall: hooks, CPU, then the cache/disk path.
+func (v *VFS) Read(p *sim.Proc, pr *Process, f *fs.File, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v.hooks.ReadEntry != nil {
+		v.hooks.ReadEntry(p, pr.Ctx, f, off, n)
+	}
+	start := p.Now()
+	misses0 := v.fs.Cache().Misses()
+	v.cpu.Use(p, v.SyscallCPU)
+	v.fs.Read(p, pr.Ctx, f, off, n)
+	pages := (n + cache.PageSize - 1) / cache.PageSize
+	v.cpu.Use(p, time.Duration(pages)*v.CopyPageCPU)
+	hit := v.fs.Cache().Misses() == misses0
+	pr.BytesRead.Add(n)
+	pr.Reads.Add(p.Now().Sub(start))
+	if v.hooks.ReadExit != nil {
+		v.hooks.ReadExit(p, pr.Ctx, f, off, n, hit)
+	}
+}
+
+// Write performs a write syscall: hooks, CPU, dirty pages, throttling.
+func (v *VFS) Write(p *sim.Proc, pr *Process, f *fs.File, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v.hooks.WriteEntry != nil {
+		v.hooks.WriteEntry(p, pr.Ctx, f, off, n)
+	}
+	start := p.Now()
+	v.cpu.Use(p, v.SyscallCPU)
+	pages := (n + cache.PageSize - 1) / cache.PageSize
+	v.cpu.Use(p, time.Duration(pages)*v.CopyPageCPU)
+	v.fs.Write(p, pr.Ctx, f, off, n)
+	if v.ThrottleWrites {
+		v.fs.Cache().Throttle(p)
+	}
+	pr.BytesWritten.Add(n)
+	pr.Writes.Add(p.Now().Sub(start))
+	if v.hooks.WriteExit != nil {
+		v.hooks.WriteExit(p, pr.Ctx, f, off, n)
+	}
+}
+
+// Fsync performs an fsync syscall.
+func (v *VFS) Fsync(p *sim.Proc, pr *Process, f *fs.File) {
+	if v.hooks.FsyncEntry != nil {
+		v.hooks.FsyncEntry(p, pr.Ctx, f)
+	}
+	start := p.Now()
+	v.cpu.Use(p, v.SyscallCPU)
+	v.fs.Fsync(p, pr.Ctx, f)
+	took := p.Now().Sub(start)
+	pr.Fsyncs.Add(took)
+	if v.hooks.FsyncExit != nil {
+		v.hooks.FsyncExit(p, pr.Ctx, f, took)
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"splitio/internal/cache"
+	"splitio/internal/core"
+	"splitio/internal/sched/noop"
+	"splitio/internal/sim"
+	"splitio/internal/vfs"
+)
+
+func newKernel(t *testing.T) *core.Kernel {
+	t.Helper()
+	opts := core.DefaultOptions()
+	cc := cache.DefaultConfig()
+	cc.TotalPages = 64 << 20 / cache.PageSize
+	opts.Cache = &cc
+	k := core.NewKernel(opts, noop.Factory)
+	t.Cleanup(k.Close)
+	return k
+}
+
+func TestSeqReaderWrapsAndProgresses(t *testing.T) {
+	k := newKernel(t)
+	f := k.FS.MkFileContiguous("/f", 8<<20)
+	pr := k.Spawn("r", 4, func(p *sim.Proc, pr *vfs.Process) {
+		SeqReader(k, p, pr, f, 1<<20)
+	})
+	k.Run(2 * time.Second)
+	// 8 MB file read at disk speed for 2 s: must have wrapped (> file size).
+	if pr.BytesRead.Total() <= f.Size() {
+		t.Fatalf("read %d bytes; did not wrap an %d-byte file", pr.BytesRead.Total(), f.Size())
+	}
+}
+
+func TestRandReaderStaysInBounds(t *testing.T) {
+	k := newKernel(t)
+	f := k.FS.MkFileContiguous("/f", 4<<20)
+	pr := k.Spawn("r", 4, func(p *sim.Proc, pr *vfs.Process) {
+		RandReader(k, p, pr, f, 4096)
+	})
+	k.Run(2 * time.Second)
+	if pr.BytesRead.Total() == 0 {
+		t.Fatal("random reader made no progress")
+	}
+}
+
+func TestSeqWriterWrapsAtLimit(t *testing.T) {
+	k := newKernel(t)
+	pr := k.Spawn("w", 4, func(p *sim.Proc, pr *vfs.Process) {
+		f, err := k.VFS.Create(p, pr, "/w")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		SeqWriter(k, p, pr, f, 1<<20, 4<<20)
+	})
+	k.Run(2 * time.Second)
+	wf, _ := k.VFS.Open("/w")
+	if wf.Size() > 4<<20 {
+		t.Fatalf("writer exceeded its limit: size %d", wf.Size())
+	}
+	if pr.BytesWritten.Total() <= 4<<20 {
+		t.Fatalf("writer did not wrap: %d bytes", pr.BytesWritten.Total())
+	}
+}
+
+func TestFsyncAppenderDurable(t *testing.T) {
+	k := newKernel(t)
+	pr := k.Spawn("a", 4, func(p *sim.Proc, pr *vfs.Process) {
+		f, err := k.VFS.Create(p, pr, "/log")
+		if err != nil {
+			return
+		}
+		FsyncAppender(k, p, pr, f, 4096)
+	})
+	k.Run(3 * time.Second)
+	if pr.Fsyncs.Count() == 0 {
+		t.Fatal("appender never fsynced")
+	}
+	if k.FS.Commits() == 0 {
+		t.Fatal("no journal commits from appender")
+	}
+}
+
+func TestRandWriteFsyncBatches(t *testing.T) {
+	k := newKernel(t)
+	f := k.FS.MkFileContiguous("/b", 64<<20)
+	pr := k.Spawn("b", 4, func(p *sim.Proc, pr *vfs.Process) {
+		RandWriteFsync(k, p, pr, f, 4096, 64<<20, 16)
+	})
+	k.Run(5 * time.Second)
+	if pr.Fsyncs.Count() == 0 {
+		t.Fatal("no fsyncs")
+	}
+	// 16 writes per fsync.
+	perFsync := float64(pr.BytesWritten.Total()) / float64(pr.Fsyncs.Count()) / 4096
+	if perFsync < 15 || perFsync > 40 {
+		t.Fatalf("writes per fsync = %.1f, want ~16", perFsync)
+	}
+}
+
+func TestRunReaderIssuesRuns(t *testing.T) {
+	k := newKernel(t)
+	f := k.FS.MkFileContiguous("/f", 64<<20)
+	pr := k.Spawn("r", 4, func(p *sim.Proc, pr *vfs.Process) {
+		RunReader(k, p, pr, f, 1<<20)
+	})
+	k.Run(2 * time.Second)
+	if pr.BytesRead.Total() == 0 {
+		t.Fatal("run reader made no progress")
+	}
+}
+
+func TestMemWriterMemorySpeed(t *testing.T) {
+	k := newKernel(t)
+	pr := k.Spawn("m", 4, func(p *sim.Proc, pr *vfs.Process) {
+		f, err := k.VFS.Create(p, pr, "/m")
+		if err != nil {
+			return
+		}
+		MemWriter(k, p, pr, f, 4<<20)
+	})
+	k.Run(2 * time.Second)
+	mbps := pr.BytesWritten.MBps(k.Now())
+	if mbps < 500 {
+		t.Fatalf("mem writer at %.1f MB/s, want memory speed", mbps)
+	}
+}
+
+func TestCreatorMakesFilesWithPause(t *testing.T) {
+	k := newKernel(t)
+	pr := k.Spawn("c", 4, func(p *sim.Proc, pr *vfs.Process) {
+		Creator(k, p, pr, "/dir", 10*time.Millisecond)
+	})
+	k.Run(3 * time.Second)
+	n := pr.Fsyncs.Count()
+	if n == 0 {
+		t.Fatal("creator made nothing")
+	}
+	// With a 10ms pause plus commit cost, the rate is bounded.
+	if float64(n)/3 > 120 {
+		t.Fatalf("creator rate %.0f/s ignores pause", float64(n)/3)
+	}
+	if _, err := k.VFS.Open("/dir/f0"); err != nil {
+		t.Fatal("created file not found")
+	}
+}
+
+func TestSpinConsumesCPUOnly(t *testing.T) {
+	k := newKernel(t)
+	k.Spawn("s", 4, func(p *sim.Proc, pr *vfs.Process) {
+		Spin(k, p, time.Millisecond)
+	})
+	k.Run(time.Second)
+	if k.CPU.BusyTime() < 900*time.Millisecond {
+		t.Fatalf("spin consumed only %v CPU", k.CPU.BusyTime())
+	}
+	if k.Block.Stats().Requests != 0 {
+		t.Fatal("spin performed I/O")
+	}
+}
+
+func TestWriteBurstTerminates(t *testing.T) {
+	k := newKernel(t)
+	f := k.FS.MkFileContiguous("/b", 16<<20)
+	var finished bool
+	pr := k.Spawn("b", 4, func(p *sim.Proc, pr *vfs.Process) {
+		WriteBurst(k, p, pr, f, 4096, 1<<20)
+		finished = true
+	})
+	k.Run(time.Minute)
+	if !finished {
+		t.Fatal("burst never finished")
+	}
+	if pr.BytesWritten.Total() < 1<<20 {
+		t.Fatalf("burst wrote %d, want >= 1MB", pr.BytesWritten.Total())
+	}
+}

@@ -1,0 +1,24 @@
+# Tier-1 verification plus static and race checks.
+#
+#   make check    vet + build + tests + race-enabled tests
+
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

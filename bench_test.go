@@ -17,6 +17,7 @@ import (
 	"splitio/internal/fs"
 	"splitio/internal/sched/stoken"
 	"splitio/internal/sim"
+	"splitio/internal/trace"
 	"splitio/internal/vfs"
 	"splitio/internal/workload"
 )
@@ -210,5 +211,23 @@ func (h countingHooks) BlockCompleted(r *block.Request) {
 		if r.Causes.Len() > 1 {
 			*h.multi++
 		}
+	}
+}
+
+// BenchmarkTraceDisabledHotPath guards the tracing subsystem's core promise:
+// with tracing off (the default for every kernel), the per-request
+// instrumentation — one Enabled check, a NextReq, and a Record — performs
+// zero allocations. A regression here taxes every untraced experiment.
+func BenchmarkTraceDisabledHotPath(b *testing.B) {
+	tr := trace.New()
+	ev := trace.Event{Layer: trace.LayerBlock, Op: trace.OpQueue, Start: 1, End: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			b.Fatal("tracer should be disabled")
+		}
+		_ = tr.NextReq()
+		tr.Record(ev)
 	}
 }

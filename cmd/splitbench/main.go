@@ -2,15 +2,22 @@
 //
 // Usage:
 //
-//	splitbench [-scale F] [-seed N] [experiment ...]
+//	splitbench [-scale F] [-seed N] [-trace FILE] [-stats] [experiment ...]
 //
 // With no arguments it runs every experiment (fig1..fig21, table1..table3)
 // in paper order. Scale < 1 shortens measurement windows proportionally.
 //
 //	splitbench -scale 0.2 fig12 fig13
+//
+// -trace FILE records a cross-layer request trace of the run and writes it
+// as Chrome trace_event JSON (load it at chrome://tracing or
+// https://ui.perfetto.dev); a per-request latency breakdown and summary are
+// printed to stderr. -stats prints each simulated machine's metric registry
+// after the run.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -18,14 +25,34 @@ import (
 	"time"
 
 	"splitio/internal/exp"
+	"splitio/internal/trace"
 )
+
+// resolve maps experiment IDs to experiments, defaulting to all of them. An
+// unknown ID yields an error naming the offending experiment.
+func resolve(ids []string) ([]exp.Experiment, error) {
+	if len(ids) == 0 {
+		return exp.All, nil
+	}
+	out := make([]exp.Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, ok := exp.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "measurement-window scale factor")
 	seed := flag.Int64("seed", 1, "deterministic random seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to `FILE`")
+	stats := flag.Bool("stats", false, "print per-machine metric registries after the run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: splitbench [-scale F] [-seed N] [experiment ...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: splitbench [-scale F] [-seed N] [-trace FILE] [-stats] [experiment ...]\n\nexperiments:\n")
 		for _, e := range exp.All {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
 		}
@@ -40,22 +67,61 @@ func main() {
 	}
 
 	opts := exp.Options{Scale: *scale, Seed: *seed}
-	ids := flag.Args()
-	if len(ids) == 0 {
-		for _, e := range exp.All {
-			ids = append(ids, e.ID)
+	var traceOut *os.File
+	if *traceFile != "" {
+		// Open up front so a bad path fails before the run, not after it.
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+			os.Exit(1)
 		}
+		traceOut = f
+		opts.Tracer = trace.New()
+		opts.Tracer.Enable()
 	}
-	for _, id := range ids {
-		e, ok := exp.ByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "splitbench: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
-		}
+	if *stats {
+		opts.Metrics = &exp.StatsCollector{}
+	}
+	exps, err := resolve(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+		os.Exit(2)
+	}
+	for _, e := range exps {
 		start := time.Now()
 		tab := e.Run(opts)
 		printTable(tab, time.Since(start))
 	}
+
+	if opts.Tracer != nil {
+		if err := writeTrace(traceOut, opts.Tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+			os.Exit(1)
+		}
+		events := opts.Tracer.Events()
+		fmt.Fprintf(os.Stderr, "\ntrace: %d events -> %s\n\n", len(events), *traceFile)
+		trace.WriteRequests(os.Stderr, events, 20)
+		trace.WriteSummary(os.Stderr, events)
+	}
+	if opts.Metrics != nil {
+		for _, m := range opts.Metrics.Machines {
+			fmt.Printf("\nmachine %s:\n", m.Label)
+			m.Registry.WriteText(os.Stdout)
+		}
+	}
+}
+
+func writeTrace(f *os.File, tr *trace.Tracer) error {
+	w := bufio.NewWriter(f)
+	if err := trace.WriteChrome(w, tr.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printTable(t *exp.Table, wall time.Duration) {

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"splitio/internal/exp"
+)
+
+func TestResolveDefaultsToAll(t *testing.T) {
+	exps, err := resolve(nil)
+	if err != nil {
+		t.Fatalf("resolve(nil): %v", err)
+	}
+	if len(exps) != len(exp.All) {
+		t.Fatalf("resolve(nil) = %d experiments, want %d", len(exps), len(exp.All))
+	}
+}
+
+func TestResolveKnownIDs(t *testing.T) {
+	exps, err := resolve([]string{"fig12", "table1"})
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if len(exps) != 2 || exps[0].ID != "fig12" || exps[1].ID != "table1" {
+		t.Fatalf("resolve = %+v, want [fig12 table1]", exps)
+	}
+}
+
+func TestResolveUnknownIDNamesOffender(t *testing.T) {
+	_, err := resolve([]string{"fig12", "fig99"})
+	if err == nil {
+		t.Fatal("resolve accepted unknown experiment fig99")
+	}
+	if !strings.Contains(err.Error(), `"fig99"`) {
+		t.Fatalf("error %q does not name the offending experiment", err)
+	}
+}

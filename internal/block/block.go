@@ -14,6 +14,7 @@ import (
 	"splitio/internal/causes"
 	"splitio/internal/device"
 	"splitio/internal/sim"
+	"splitio/internal/trace"
 )
 
 // Class is the I/O class visible at the block level (CFQ's notion).
@@ -63,6 +64,11 @@ type Request struct {
 	// fills this from per-process settings).
 	Deadline sim.Time
 
+	// Req is the trace request ID of the operation this request descends
+	// from (0 when tracing is disabled). Schedulers must not use it: it is
+	// observability metadata, not scheduling input.
+	Req trace.ReqID
+
 	// Queued and Start record when the request entered the block layer and
 	// when dispatch began; Service is the device time consumed. They are
 	// filled by the layer.
@@ -94,6 +100,7 @@ type Elevator interface {
 // Stats aggregates block-layer activity.
 type Stats struct {
 	Requests    int64
+	Dispatched  int64
 	BlocksRead  int64
 	BlocksWrite int64
 	BusyTime    time.Duration
@@ -113,8 +120,10 @@ type Layer struct {
 	disk  device.Disk
 	elv   Elevator
 	hooks Hooks
+	tr    *trace.Tracer
 	work  *sim.WaitQueue
 	busy  bool
+	depth int
 	stats Stats
 	// QueueDepth>1 is not modeled; the dispatcher issues one request at a
 	// time, matching the paper's single-spindle evaluation.
@@ -123,13 +132,25 @@ type Layer struct {
 // NewLayer creates a block layer over disk using elv and starts its
 // dispatcher process.
 func NewLayer(env *sim.Env, disk device.Disk, elv Elevator) *Layer {
-	l := &Layer{env: env, disk: disk, elv: elv, work: sim.NewWaitQueue(env)}
+	l := &Layer{env: env, disk: disk, elv: elv, tr: trace.Nop, work: sim.NewWaitQueue(env)}
 	env.Go("block-dispatch", l.dispatcher)
 	return l
 }
 
 // SetHooks installs framework hooks (may be nil).
 func (l *Layer) SetHooks(h Hooks) { l.hooks = h }
+
+// SetTracer installs the kernel's tracer (nil restores the disabled Nop).
+func (l *Layer) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		tr = trace.Nop
+	}
+	l.tr = tr
+}
+
+// QueueDepth returns the number of requests inside the block layer (queued
+// or being served).
+func (l *Layer) QueueDepth() int { return l.depth }
 
 // Elevator returns the installed elevator.
 func (l *Layer) Elevator() Elevator { return l.elv }
@@ -148,6 +169,7 @@ func (l *Layer) Submit(r *Request) *sim.Completion {
 	r.done = sim.NewCompletion(l.env)
 	r.Queued = l.env.Now()
 	l.stats.Requests++
+	l.depth++
 	l.elv.Add(r)
 	if l.hooks != nil {
 		l.hooks.BlockAdded(r)
@@ -159,6 +181,60 @@ func (l *Layer) Submit(r *Request) *sim.Completion {
 // SubmitAndWait submits r and blocks p until it completes.
 func (l *Layer) SubmitAndWait(p *sim.Proc, r *Request) {
 	l.Submit(r).Wait(p)
+}
+
+// traceRequest emits the block- and device-layer spans of one completed
+// request: the queue span (submission to dispatch, labeled with the
+// elevator) and the device service, split into positioning and transfer
+// when the disk model reports a breakdown.
+func (l *Layer) traceRequest(r *Request, pos, xfer time.Duration) {
+	flags := requestFlags(r)
+	l.tr.Record(trace.Event{
+		Layer: trace.LayerBlock, Op: trace.OpQueue, Label: l.elv.Name(),
+		Req: r.Req, PID: r.Submitter, Causes: r.Causes,
+		Start: r.Queued, End: r.Start,
+		Ino: r.FileID, LBA: r.LBA, Blocks: r.Blocks, Flags: flags,
+	})
+	dev := trace.Event{
+		Layer: trace.LayerDevice, Op: trace.OpService, Label: l.disk.Name(),
+		Req: r.Req, PID: r.Submitter, Causes: r.Causes,
+		Start: r.Start, End: r.Start.Add(r.Service),
+		Ino: r.FileID, LBA: r.LBA, Blocks: r.Blocks, Flags: flags,
+	}
+	if pos+xfer > 0 {
+		if pos > 0 {
+			seek := dev
+			seek.Op = trace.OpPosition
+			seek.End = dev.Start.Add(pos)
+			l.tr.Record(seek)
+		}
+		dev.Op = trace.OpTransfer
+		dev.Start = dev.Start.Add(pos)
+		dev.End = dev.Start.Add(xfer)
+	}
+	l.tr.Record(dev)
+}
+
+func requestFlags(r *Request) trace.Flag {
+	var f trace.Flag
+	if r.Op == device.Read {
+		f |= trace.FlagRead
+	} else {
+		f |= trace.FlagWrite
+	}
+	if r.Sync {
+		f |= trace.FlagSync
+	}
+	if r.Journal {
+		f |= trace.FlagJournal
+	}
+	if r.Meta {
+		f |= trace.FlagMeta
+	}
+	if r.Barrier {
+		f |= trace.FlagBarrier
+	}
+	return f
 }
 
 // Kick wakes the dispatcher; elevators call this after internal timers
@@ -178,10 +254,20 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 		}
 		l.busy = true
 		r.Start = p.Now()
+		l.stats.Dispatched++
 		if l.hooks != nil {
 			l.hooks.BlockDispatched(r)
 		}
 		svc := l.disk.ServiceTime(r.Op, r.LBA, r.Blocks, time.Duration(p.Now()), r.Barrier)
+		var pos, xfer time.Duration
+		traced := l.tr.Enabled()
+		if traced {
+			// Capture the positioning/transfer split now: the disk model's
+			// breakdown state is overwritten by the next ServiceTime call.
+			if bd, ok := l.disk.(device.Breakdowner); ok {
+				pos, xfer = bd.Breakdown()
+			}
+		}
 		p.Sleep(svc)
 		r.Service = svc
 		l.stats.BusyTime += svc
@@ -191,9 +277,13 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 			l.stats.BlocksWrite += int64(r.Blocks)
 		}
 		l.busy = false
+		l.depth--
 		l.elv.Completed(r)
 		if l.hooks != nil {
 			l.hooks.BlockCompleted(r)
+		}
+		if traced {
+			l.traceRequest(r, pos, xfer)
 		}
 		r.done.Complete()
 	}

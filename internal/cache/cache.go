@@ -15,6 +15,7 @@ import (
 	"splitio/internal/causes"
 	"splitio/internal/ioctx"
 	"splitio/internal/sim"
+	"splitio/internal/trace"
 )
 
 // PageSize is the cache page size in bytes.
@@ -87,6 +88,7 @@ type Cache struct {
 	env   *sim.Env
 	cfg   Config
 	hooks MemHooks
+	tr    *trace.Tracer
 
 	pages map[pageKey]*page
 	lru   list.List // clean pages, front = LRU
@@ -123,6 +125,7 @@ func New(env *sim.Env, cfg Config, wbCtx *ioctx.Ctx) *Cache {
 	c := &Cache{
 		env:            env,
 		cfg:            cfg,
+		tr:             trace.Nop,
 		pages:          make(map[pageKey]*page),
 		dirtyFiles:     make(map[int64]*dirtyFile),
 		inOrder:        make(map[int64]bool),
@@ -137,6 +140,14 @@ func New(env *sim.Env, cfg Config, wbCtx *ioctx.Ctx) *Cache {
 
 // SetHooks installs memory-level hooks.
 func (c *Cache) SetHooks(h MemHooks) { c.hooks = h }
+
+// SetTracer installs the kernel's tracer (nil restores the disabled Nop).
+func (c *Cache) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		tr = trace.Nop
+	}
+	c.tr = tr
+}
 
 // SetWriteback installs the file system's flush callback.
 func (c *Cache) SetWriteback(fn WritebackFn) { c.writeback = fn }
@@ -278,6 +289,14 @@ func (c *Cache) MarkDirty(ctx *ioctx.Ctx, ino, idx int64) bool {
 		if c.hooks.BufferDirty != nil {
 			c.hooks.BufferDirty(ino, idx, pg.wcauses, prev)
 		}
+		if c.tr.Enabled() {
+			now := c.env.Now()
+			c.tr.Record(trace.Event{
+				Layer: trace.LayerCache, Op: trace.OpDirty, Label: "overwrite",
+				Req: ctx.Req, PID: ctx.PID, Causes: pg.wcauses,
+				Start: now, End: now, Ino: ino, Page: idx,
+			})
+		}
 		return true
 	}
 	if !ok {
@@ -307,6 +326,14 @@ func (c *Cache) MarkDirty(ctx *ioctx.Ctx, ino, idx int64) bool {
 	df.pages[idx] = struct{}{}
 	if c.hooks.BufferDirty != nil {
 		c.hooks.BufferDirty(ino, idx, newCauses, causes.None)
+	}
+	if c.tr.Enabled() {
+		now := c.env.Now()
+		c.tr.Record(trace.Event{
+			Layer: trace.LayerCache, Op: trace.OpDirty,
+			Req: ctx.Req, PID: ctx.PID, Causes: newCauses,
+			Start: now, End: now, Ino: ino, Page: idx,
+		})
 	}
 	if c.dirtyCount > c.bgThreshold() {
 		c.wbWake.Signal()
@@ -375,6 +402,14 @@ func (c *Cache) FreeFile(ino int64) {
 			pg := c.pages[pageKey{ino, idx}]
 			if c.hooks.BufferFree != nil {
 				c.hooks.BufferFree(ino, idx, pg.wcauses)
+			}
+			if c.tr.Enabled() {
+				now := c.env.Now()
+				c.tr.Record(trace.Event{
+					Layer: trace.LayerCache, Op: trace.OpBufferFree,
+					PID: 0, Causes: pg.wcauses,
+					Start: now, End: now, Ino: ino, Page: idx,
+				})
 			}
 			c.statFrees++
 			c.tagBytes -= int64(pg.wcauses.TagBytes())
@@ -478,7 +513,23 @@ func (c *Cache) Writeback(p *sim.Proc, ino int64, max int) int {
 	if c.writeback == nil {
 		return 0
 	}
-	return c.writeback(p, ino, max)
+	traced := c.tr.Enabled()
+	var start sim.Time
+	if traced {
+		// Each writeback round is its own request tree: stamp the writeback
+		// identity so the flush, block, and device spans below all link up.
+		c.wbCtx.Req = c.tr.NextReq()
+		start = c.env.Now()
+	}
+	n := c.writeback(p, ino, max)
+	if traced {
+		c.tr.Record(trace.Event{
+			Layer: trace.LayerCache, Op: trace.OpWriteback, Label: "sync",
+			Req: c.wbCtx.Req, PID: c.wbCtx.PID,
+			Start: start, End: c.env.Now(), Ino: ino, Blocks: n,
+		})
+	}
+	return n
 }
 
 // nextDirtyIno returns the next file to write back: scheduler hints first,
@@ -548,6 +599,19 @@ func (c *Cache) flushOne(p *sim.Proc, ino int64) {
 		c.TakeDirty(ino, c.cfg.WritebackBatch)
 		return
 	}
-	c.writeback(p, ino, c.cfg.WritebackBatch)
+	traced := c.tr.Enabled()
+	var start sim.Time
+	if traced {
+		c.wbCtx.Req = c.tr.NextReq()
+		start = c.env.Now()
+	}
+	n := c.writeback(p, ino, c.cfg.WritebackBatch)
+	if traced {
+		c.tr.Record(trace.Event{
+			Layer: trace.LayerCache, Op: trace.OpWriteback, Label: "pdflush",
+			Req: c.wbCtx.Req, PID: c.wbCtx.PID,
+			Start: start, End: c.env.Now(), Ino: ino, Blocks: n,
+		})
+	}
 	c.maybeUnthrottle()
 }

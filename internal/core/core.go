@@ -17,7 +17,9 @@ import (
 	"splitio/internal/device"
 	"splitio/internal/fs"
 	"splitio/internal/ioctx"
+	"splitio/internal/metrics"
 	"splitio/internal/sim"
+	"splitio/internal/trace"
 	"splitio/internal/vfs"
 )
 
@@ -67,6 +69,17 @@ type Options struct {
 	Cache *cache.Config
 	// FSConfig overrides the file-system config when non-nil.
 	FSConfig *fs.Config
+	// Tracer, when non-nil, is installed on every layer so cross-layer
+	// request trees are recorded (it must be Enabled by the caller; an
+	// enabled tracer shared across kernels interleaves their events).
+	// When nil each kernel gets a fresh disabled tracer that can be
+	// enabled later via Kernel.Trace.Enable().
+	Tracer *trace.Tracer
+	// MetricsInterval, when positive, starts a sampler process that snapshots
+	// every registry gauge into a time series at that virtual-time period.
+	// It is strictly opt-in: the sampler is a simulated process, so enabling
+	// it perturbs event interleaving and changes experiment results slightly.
+	MetricsInterval time.Duration
 }
 
 // DefaultOptions returns an 8-core HDD/ext4 machine.
@@ -84,6 +97,15 @@ type Kernel struct {
 	FS    *fs.FS
 	VFS   *vfs.VFS
 	Sched Scheduler
+
+	// Trace is the kernel's tracer. It is always non-nil; it records nothing
+	// until Enabled (Options.Tracer pre-enabled, or Trace.Enable()).
+	Trace *trace.Tracer
+	// Metrics is the kernel's gauge/counter registry, pre-populated with the
+	// standard per-layer gauges (cache.dirty_pages, block.queue_depth, ...).
+	// Sample it on demand, or set Options.MetricsInterval to sample on a
+	// virtual-time tick.
+	Metrics *metrics.Registry
 
 	// WBCtx and JCtx are the writeback and journal task identities.
 	WBCtx *ioctx.Ctx
@@ -131,20 +153,58 @@ func NewKernelOn(env *sim.Env, opts Options, factory Factory) *Kernel {
 	filesystem := fs.New(env, fcfg, pc, blk, jctx, wbCtx)
 	cpu := cpusim.New(cores)
 	v := vfs.New(env, filesystem, cpu)
+	tr := opts.Tracer
+	if tr == nil {
+		tr = trace.New()
+	}
+	blk.SetTracer(tr)
+	pc.SetTracer(tr)
+	filesystem.SetTracer(tr)
+	v.SetTracer(tr)
 	k := &Kernel{
-		Env:   env,
-		CPU:   cpu,
-		Disk:  disk,
-		Block: blk,
-		Cache: pc,
-		FS:    filesystem,
-		VFS:   v,
-		Sched: sched,
-		WBCtx: wbCtx,
-		JCtx:  jctx,
+		Env:     env,
+		CPU:     cpu,
+		Disk:    disk,
+		Block:   blk,
+		Cache:   pc,
+		FS:      filesystem,
+		VFS:     v,
+		Sched:   sched,
+		Trace:   tr,
+		Metrics: metrics.NewRegistry(),
+		WBCtx:   wbCtx,
+		JCtx:    jctx,
+	}
+	k.registerGauges()
+	if opts.MetricsInterval > 0 {
+		k.Metrics.StartSampler(env, opts.MetricsInterval)
 	}
 	sched.Attach(k)
 	return k
+}
+
+// registerGauges populates the kernel registry with the standard per-layer
+// gauges every experiment can sample.
+func (k *Kernel) registerGauges() {
+	r := k.Metrics
+	r.Gauge("cache.dirty_pages", func() float64 { return float64(k.Cache.DirtyPagesCount()) })
+	r.Gauge("cache.throttled_writers", func() float64 { return float64(k.Cache.ThrottledWriters()) })
+	r.Gauge("cache.tag_bytes", func() float64 { return float64(k.Cache.TagBytes()) })
+	r.Gauge("cache.hits", func() float64 { return float64(k.Cache.Hits()) })
+	r.Gauge("cache.misses", func() float64 { return float64(k.Cache.Misses()) })
+	r.Gauge("fs.commits", func() float64 { return float64(k.FS.Commits()) })
+	r.Gauge("fs.journal_blocks", func() float64 { return float64(k.FS.JournalBlocksWritten()) })
+	r.Gauge("fs.txn_meta_blocks", func() float64 {
+		meta, _ := k.FS.RunningTxnInfo()
+		return float64(meta)
+	})
+	r.Gauge("fs.txn_dep_dirty_pages", func() float64 {
+		_, dep := k.FS.RunningTxnInfo()
+		return float64(dep)
+	})
+	r.Gauge("block.queue_depth", func() float64 { return float64(k.Block.QueueDepth()) })
+	r.Gauge("block.dispatched", func() float64 { return float64(k.Block.Stats().Dispatched) })
+	r.Gauge("block.busy_seconds", func() float64 { return k.Block.Stats().BusyTime.Seconds() })
 }
 
 // Spawn registers a process and starts its body as a simulated process.

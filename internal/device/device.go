@@ -50,6 +50,17 @@ type Disk interface {
 	Blocks() int64
 }
 
+// Breakdowner is implemented by disk models that can split their most recent
+// ServiceTime result into a positioning component (seek + rotation, or flash
+// access latency) and a media-transfer component. The block layer uses it to
+// emit separate device-level trace spans for seek and transfer.
+type Breakdowner interface {
+	// Breakdown returns the positioning and transfer parts of the last
+	// ServiceTime call. Like ServiceTime itself, it reflects dispatch-order
+	// state: read it before the next request is served.
+	Breakdown() (position, transfer time.Duration)
+}
+
 // HDD is a mechanical hard-disk model.
 type HDD struct {
 	// TrackSeek is the track-to-track (minimum non-zero) seek time.
@@ -73,6 +84,8 @@ type HDD struct {
 
 	head    int64
 	lastEnd time.Duration
+	lastPos time.Duration
+	lastXfr time.Duration
 }
 
 // NewHDD returns a model of a 7200 RPM 500 GB SATA drive roughly matching
@@ -163,7 +176,14 @@ func (d *HDD) ServiceTime(op Op, lba int64, n int, now time.Duration, barrier bo
 	d.head = lba + int64(n)
 	svc := position + time.Duration(n)*d.PerBlock
 	d.lastEnd = now + svc
+	d.lastPos = position
+	d.lastXfr = svc - position
 	return svc
+}
+
+// Breakdown implements Breakdowner.
+func (d *HDD) Breakdown() (position, transfer time.Duration) {
+	return d.lastPos, d.lastXfr
 }
 
 // SSD is a flash device model with flat access latency and a modest
@@ -173,6 +193,9 @@ type SSD struct {
 	WriteLatency time.Duration
 	PerBlock     time.Duration
 	Capacity     int64
+
+	lastPos time.Duration
+	lastXfr time.Duration
 }
 
 // NewSSD returns a model of an 80 GB SATA SSD roughly matching the paper's
@@ -209,5 +232,12 @@ func (d *SSD) ServiceTime(op Op, lba int64, n int, now time.Duration, barrier bo
 	if barrier {
 		lat += d.WriteLatency // cache flush
 	}
-	return lat + time.Duration(n)*d.PerBlock
+	d.lastPos = lat
+	d.lastXfr = time.Duration(n) * d.PerBlock
+	return lat + d.lastXfr
+}
+
+// Breakdown implements Breakdowner.
+func (d *SSD) Breakdown() (position, transfer time.Duration) {
+	return d.lastPos, d.lastXfr
 }

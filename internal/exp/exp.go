@@ -13,6 +13,7 @@ import (
 
 	"splitio/internal/cache"
 	"splitio/internal/core"
+	"splitio/internal/metrics"
 	"splitio/internal/sched/afq"
 	"splitio/internal/sched/bdeadline"
 	"splitio/internal/sched/cfq"
@@ -21,6 +22,7 @@ import (
 	"splitio/internal/sched/sdeadline"
 	"splitio/internal/sched/stoken"
 	"splitio/internal/sim"
+	"splitio/internal/trace"
 	"splitio/internal/vfs"
 )
 
@@ -51,6 +53,34 @@ type Options struct {
 	Scale float64
 	// Seed is the deterministic random seed.
 	Seed int64
+	// Tracer, when non-nil, is installed on every kernel the experiment
+	// builds, so one run yields a cross-layer trace (splitbench -trace).
+	Tracer *trace.Tracer
+	// Metrics, when non-nil, collects each kernel's gauge registry so the
+	// caller can print per-machine stats after the run (splitbench -stats).
+	Metrics *StatsCollector
+}
+
+// StatsCollector gathers the metrics registries of every kernel an
+// experiment run creates, labeled by scheduler name and creation order.
+// Collecting stats starts a sampler process on each kernel, which perturbs
+// event interleaving slightly relative to an unsampled run — that is why
+// stats are opt-in rather than always on.
+type StatsCollector struct {
+	// Interval is the virtual-time gauge sampling period (default 100ms).
+	Interval time.Duration
+	Machines []MachineStats
+}
+
+// MachineStats is one kernel's registry with a human-readable label.
+type MachineStats struct {
+	Label    string
+	Registry *metrics.Registry
+}
+
+// Add registers a machine's registry under label.
+func (sc *StatsCollector) Add(label string, r *metrics.Registry) {
+	sc.Machines = append(sc.Machines, MachineStats{Label: label, Registry: r})
 }
 
 // DefaultOptions runs at full scale with seed 1.
@@ -131,10 +161,21 @@ func newKernel(sched string, o Options, mut func(*core.Options)) *core.Kernel {
 	cc := cache.DefaultConfig()
 	cc.TotalPages = 256 << 20 / cache.PageSize
 	opts.Cache = &cc
+	opts.Tracer = o.Tracer
+	if o.Metrics != nil {
+		opts.MetricsInterval = o.Metrics.Interval
+		if opts.MetricsInterval <= 0 {
+			opts.MetricsInterval = 100 * time.Millisecond
+		}
+	}
 	if mut != nil {
 		mut(&opts)
 	}
-	return core.NewKernelOn(sim.NewEnv(opts.Seed), opts, factories[sched])
+	k := core.NewKernelOn(sim.NewEnv(opts.Seed), opts, factories[sched])
+	if o.Metrics != nil {
+		o.Metrics.Add(fmt.Sprintf("%s#%d", sched, len(o.Metrics.Machines)), k.Metrics)
+	}
+	return k
 }
 
 // measure resets the processes' counters, runs the kernel for d, and

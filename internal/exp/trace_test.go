@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"splitio/internal/trace"
+)
+
+// TestFig12Traced mirrors `splitbench -trace out.json -stats fig12`: the run
+// must record spans from all five layers, link one syscall's fan-out by
+// request ID, export valid Chrome JSON, and collect per-machine registries.
+func TestFig12Traced(t *testing.T) {
+	tr := trace.New()
+	tr.Enable()
+	sc := &StatsCollector{}
+	e, _ := ByID("fig12")
+	tab := e.Run(Options{Scale: 0.05, Seed: 1, Tracer: tr, Metrics: sc})
+	if len(tab.Rows) == 0 {
+		t.Fatal("fig12 produced no rows")
+	}
+
+	events := tr.Events()
+	seen := make(map[trace.Layer]int)
+	for _, ev := range events {
+		seen[ev.Layer]++
+	}
+	for _, l := range trace.Layers() {
+		if seen[l] == 0 {
+			t.Errorf("fig12 trace has no %s-layer spans", l)
+		}
+	}
+
+	linked := false
+	for _, evs := range trace.ByReq(events) {
+		layers := make(map[trace.Layer]bool)
+		hasSyscall := false
+		for _, ev := range evs {
+			layers[ev.Layer] = true
+			hasSyscall = hasSyscall || ev.Layer == trace.LayerSyscall
+		}
+		if hasSyscall && layers[trace.LayerBlock] && layers[trace.LayerDevice] {
+			linked = true
+			break
+		}
+	}
+	if !linked {
+		t.Error("no request links a syscall span to block and device spans")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, events); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+
+	if len(sc.Machines) == 0 {
+		t.Fatal("stats collector saw no machines")
+	}
+	for _, m := range sc.Machines {
+		if m.Label == "" || m.Registry == nil {
+			t.Fatalf("bad machine stats entry %+v", m)
+		}
+		if len(m.Registry.Names()) == 0 {
+			t.Fatalf("machine %s registry has no gauges", m.Label)
+		}
+	}
+}

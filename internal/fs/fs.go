@@ -29,6 +29,7 @@ import (
 	"splitio/internal/device"
 	"splitio/internal/ioctx"
 	"splitio/internal/sim"
+	"splitio/internal/trace"
 )
 
 // BlockSize is the file-system block size (equals the page size).
@@ -124,6 +125,7 @@ type txn struct {
 	dataDeps   map[int64]struct{} // inodes whose dirty data must flush first
 	done       *sim.Completion
 	queued     bool
+	req        trace.ReqID // trace id linking the commit's fan-out (0 untraced)
 }
 
 func (t *txn) has(ino int64) bool {
@@ -139,6 +141,7 @@ type FS struct {
 	cfg   Config
 	cache *cache.Cache
 	blk   *block.Layer
+	tr    *trace.Tracer
 
 	files   map[string]*File
 	byIno   map[int64]*File
@@ -184,6 +187,7 @@ func New(env *sim.Env, cfg Config, c *cache.Cache, blk *block.Layer, jctx, wbCtx
 		cfg:           cfg,
 		cache:         c,
 		blk:           blk,
+		tr:            trace.Nop,
 		files:         make(map[string]*File),
 		byIno:         make(map[int64]*File),
 		nextIno:       1,
@@ -213,6 +217,14 @@ func New(env *sim.Env, cfg Config, c *cache.Cache, blk *block.Layer, jctx, wbCtx
 
 // Name returns the configured file-system name.
 func (f *FS) Name() string { return f.cfg.Name }
+
+// SetTracer installs the kernel's tracer (nil restores the disabled Nop).
+func (f *FS) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		tr = trace.Nop
+	}
+	f.tr = tr
+}
 
 // Cache returns the page cache the file system uses.
 func (f *FS) Cache() *cache.Cache { return f.cache }
@@ -397,6 +409,7 @@ func (f *FS) submitReadRuns(ctx *ioctx.Ctx, file *File, idxs []int64) []*sim.Com
 			Class:     ctx.Class,
 			Sync:      true,
 			FileID:    file.Ino,
+			Req:       ctx.Req,
 		}
 		if ctx.ReadDeadline > 0 {
 			req.Deadline = f.env.Now().Add(ctx.ReadDeadline)
@@ -458,6 +471,7 @@ func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync
 	if len(idxs) == 0 {
 		return 0
 	}
+	flushStart := f.env.Now()
 	// Delegation: the flusher acts on behalf of the pages' causes while
 	// allocating (delayed allocation dirties metadata for other processes).
 	var union causes.Set
@@ -511,6 +525,16 @@ func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync
 			who = ctx.Causes()
 		}
 		f.txnJoin(ino, who, 1, false)
+		if f.tr.Enabled() {
+			// Delayed allocation happened here, at flush time — the
+			// delegation the paper calls out (§2.3.1).
+			now := f.env.Now()
+			f.tr.Record(trace.Event{
+				Layer: trace.LayerFS, Op: trace.OpAlloc,
+				Req: reqOf(ctx), PID: pidOf(ctx), Causes: who,
+				Start: now, End: now, Ino: ino, Blocks: len(idxs),
+			})
+		}
 	}
 	// Submit one request per contiguous on-disk run. Background writeback
 	// submits async requests even though the daemon waits for pacing —
@@ -542,6 +566,7 @@ func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync
 			Sync:      reqSync,
 			FileID:    ino,
 			Pages:     append([]int64(nil), idxs[i:j]...),
+			Req:       reqOf(ctx),
 		}
 		if ctx != nil && ctx.WriteDeadline > 0 {
 			req.Deadline = f.env.Now().Add(ctx.WriteDeadline)
@@ -565,7 +590,21 @@ func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync
 			d.Wait(p)
 		}
 	}
+	if f.tr.Enabled() {
+		f.tr.Record(trace.Event{
+			Layer: trace.LayerFS, Op: trace.OpFlushData,
+			Req: reqOf(ctx), PID: pidOf(ctx), Causes: union,
+			Start: flushStart, End: f.env.Now(), Ino: ino, Blocks: len(idxs),
+		})
+	}
 	return len(idxs)
+}
+
+func reqOf(c *ioctx.Ctx) trace.ReqID {
+	if c == nil {
+		return 0
+	}
+	return c.Req
 }
 
 func pidOf(c *ioctx.Ctx) causes.PID {
@@ -686,6 +725,18 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 		f.running = f.newTxn()
 	}
 	f.committing = t
+	traced := f.tr.Enabled()
+	var commitStart sim.Time
+	if traced {
+		// The whole commit — ordered data flushes, journal writes, barrier —
+		// is one request tree keyed by the transaction's ID; stamping the
+		// journal task's context links every descendant span to it.
+		if t.req == 0 {
+			t.req = f.tr.NextReq()
+		}
+		f.jctx.Req = t.req
+		commitStart = f.env.Now()
+	}
 	// Ordered mode: every data dependency must reach disk before the
 	// commit record. This is the entanglement the split framework must
 	// work around (paper §2.3.2).
@@ -695,9 +746,17 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 	}
 	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
 	for _, ino := range deps {
+		depStart := f.env.Now()
 		f.waitInflight(p, ino)
 		n := f.flushFileData(p, f.jctx, ino, 0, true)
 		f.statOrderedFlush += int64(n)
+		if traced {
+			f.tr.Record(trace.Event{
+				Layer: trace.LayerFS, Op: trace.OpOrderedFlush,
+				Req: t.req, PID: f.jctx.PID, Causes: t.tcauses,
+				Start: depStart, End: f.env.Now(), Ino: ino, Blocks: n,
+			})
+		}
 	}
 	// Journal writes: descriptor + metadata blocks + commit record, laid
 	// out sequentially in the journal region.
@@ -722,6 +781,7 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 		Journal:   true,
 		Meta:      true,
 		Sync:      true,
+		Req:       t.req,
 	}
 	f.blk.SubmitAndWait(p, desc)
 	commitRec := &block.Request{
@@ -735,10 +795,20 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 		Meta:      true,
 		Sync:      true,
 		Barrier:   true,
+		Req:       t.req,
 	}
 	f.blk.SubmitAndWait(p, commitRec)
 	if f.cfg.TagJournalProxy {
 		f.jctx.EndProxy()
+	}
+	if traced {
+		f.tr.Record(trace.Event{
+			Layer: trace.LayerFS, Op: trace.OpTxnCommit, Label: f.cfg.Name,
+			Req: t.req, PID: f.jctx.PID, Causes: t.tcauses,
+			Start: commitStart, End: f.env.Now(), Blocks: int(nblocks) + 1,
+			Flags: trace.FlagJournal | trace.FlagMeta,
+		})
+		f.jctx.Req = 0
 	}
 	f.statCommits++
 	f.statJournalBlks += nblocks + 1

@@ -9,12 +9,20 @@ import (
 
 	"splitio/internal/block"
 	"splitio/internal/causes"
+	"splitio/internal/trace"
 )
 
 // Ctx is the I/O identity of a simulated process or kernel task.
 type Ctx struct {
 	PID  causes.PID
 	Name string
+
+	// Req is the trace request ID of the operation the context is currently
+	// performing: the syscall layer stamps it at entry for user processes,
+	// and kernel tasks (writeback, journal) stamp it per round, so every
+	// span a request fans out into across layers shares one ID. Zero when
+	// tracing is disabled.
+	Req trace.ReqID
 
 	// Prio is the I/O priority, 0 (highest) to 7 (lowest), as used by CFQ
 	// and AFQ.

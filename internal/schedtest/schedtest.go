@@ -1,6 +1,7 @@
 // Package schedtest provides shared fixtures for scheduler integration
-// tests: a small-RAM kernel (so large-file scans always miss the cache) and
-// helpers that run the paper's canonical antagonist pairs.
+// tests: a small-RAM kernel (so large-file scans always miss the cache),
+// helpers that run the paper's canonical antagonist pairs, and trace-based
+// assertions on cross-layer ordering invariants.
 package schedtest
 
 import (
@@ -11,6 +12,7 @@ import (
 	"splitio/internal/core"
 	"splitio/internal/fs"
 	"splitio/internal/sim"
+	"splitio/internal/trace"
 	"splitio/internal/vfs"
 )
 
@@ -65,4 +67,73 @@ func Warm(k *core.Kernel, d time.Duration) { k.Run(d) }
 // SpawnLoop spawns a process whose body loops forever via fn.
 func SpawnLoop(k *core.Kernel, name string, prio int, fn func(p *sim.Proc, pr *vfs.Process)) *vfs.Process {
 	return k.Spawn(name, prio, fn)
+}
+
+// EnableTrace turns on the kernel's tracer and returns it. Call before
+// spawning workload processes so every request is captured.
+func EnableTrace(k *core.Kernel) *trace.Tracer {
+	k.Trace.Enable()
+	return k.Trace
+}
+
+// RequestTree groups events by request ID (dropping the untagged req 0
+// bucket), so a test can walk one syscall's cross-layer fan-out.
+func RequestTree(events []trace.Event) map[trace.ReqID][]trace.Event {
+	tree := trace.ByReq(events)
+	delete(tree, 0)
+	return tree
+}
+
+// AssertLayerSpans fails the test unless events contain at least one span
+// from each of the given layers.
+func AssertLayerSpans(t *testing.T, events []trace.Event, layers ...trace.Layer) {
+	t.Helper()
+	seen := make(map[trace.Layer]int)
+	for _, e := range events {
+		seen[e.Layer]++
+	}
+	for _, l := range layers {
+		if seen[l] == 0 {
+			t.Errorf("trace has no %s-layer spans (got %d events total)", l, len(events))
+		}
+	}
+}
+
+// AssertOrderedCommits checks the journaling core invariant of ordered mode:
+// within each traced transaction, every ordered-data flush (and every data
+// write the commit forced to disk) completes before the transaction's
+// journal barrier write begins. A violation means the commit record could
+// hit the platter ahead of the data it orders.
+func AssertOrderedCommits(t *testing.T, events []trace.Event) (checked int) {
+	t.Helper()
+	for req, evs := range RequestTree(events) {
+		// The barrier device span is the commit record reaching the device.
+		barrier := sim.Time(0)
+		haveBarrier := false
+		for _, e := range evs {
+			if e.Layer == trace.LayerDevice && e.Flags.Has(trace.FlagBarrier) {
+				if !haveBarrier || e.Start < barrier {
+					barrier = e.Start
+					haveBarrier = true
+				}
+			}
+		}
+		if !haveBarrier {
+			continue // not a commit tree
+		}
+		checked++
+		for _, e := range evs {
+			switch {
+			case e.Op == trace.OpOrderedFlush:
+				if e.End > barrier {
+					t.Errorf("req %d: ordered flush of ino %d ends at %v, after journal barrier starts at %v", req, e.Ino, e.End, barrier)
+				}
+			case e.Layer == trace.LayerDevice && e.Flags.Has(trace.FlagWrite) && !e.Flags.Has(trace.FlagJournal):
+				if e.End > barrier {
+					t.Errorf("req %d: ordered data write at lba %d ends at %v, after journal barrier starts at %v", req, e.LBA, e.End, barrier)
+				}
+			}
+		}
+	}
+	return checked
 }

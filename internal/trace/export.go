@@ -1,0 +1,229 @@
+// Exporters: Chrome trace_event JSON (loadable in chrome://tracing or
+// https://ui.perfetto.dev) and plain-text latency breakdown tables. All
+// output is deterministic for a deterministic event stream — iteration
+// over maps is always sorted — so exported traces can be compared
+// byte-for-byte in regression tests.
+
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"splitio/internal/sim"
+)
+
+// WriteChrome writes events as Chrome trace_event JSON ("JSON object
+// format"). Layers become trace processes (so each layer is one named track
+// group) and simulated PIDs become threads within them. Spans are "X"
+// (complete) events; instants are "i" events. Virtual nanoseconds map to
+// trace microseconds with three decimals, preserving full precision.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	// Name each layer's process track.
+	for _, l := range Layers() {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`,
+			int(l)+1, fmt.Sprintf("%d. %s", int(l)+1, l)))
+		emit(fmt.Sprintf(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`,
+			int(l)+1, int(l)))
+	}
+	for i := range events {
+		ev := &events[i]
+		var b strings.Builder
+		ph, dur := "X", ""
+		if ev.Instant() {
+			ph = "i"
+		} else {
+			dur = fmt.Sprintf(`,"dur":%s`, usec(ev.Dur()))
+		}
+		fmt.Fprintf(&b, `{"name":%q,"cat":%q,"ph":%q,"pid":%d,"tid":%d,"ts":%s%s`,
+			ev.Op, ev.Layer.String(), ph, int(ev.Layer)+1, int(ev.PID), tsUsec(ev.Start), dur)
+		if ph == "i" {
+			b.WriteString(`,"s":"t"`)
+		}
+		fmt.Fprintf(&b, `,"args":{"req":%d`, ev.Req)
+		if ev.Ino != 0 {
+			fmt.Fprintf(&b, `,"ino":%d`, ev.Ino)
+		}
+		if ev.Page != 0 {
+			fmt.Fprintf(&b, `,"page":%d`, ev.Page)
+		}
+		if ev.Blocks != 0 {
+			fmt.Fprintf(&b, `,"lba":%d,"blocks":%d`, ev.LBA, ev.Blocks)
+		}
+		if ev.Bytes != 0 {
+			fmt.Fprintf(&b, `,"bytes":%d`, ev.Bytes)
+		}
+		if !ev.Causes.Empty() {
+			fmt.Fprintf(&b, `,"causes":%q`, ev.Causes.String())
+		}
+		if ev.Flags != 0 {
+			fmt.Fprintf(&b, `,"flags":%q`, ev.Flags.String())
+		}
+		if ev.Label != "" {
+			fmt.Fprintf(&b, `,"label":%q`, ev.Label)
+		}
+		b.WriteString("}}")
+		emit(b.String())
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// tsUsec renders a virtual timestamp as microseconds with nanosecond
+// precision, the unit trace_event expects.
+func tsUsec(t sim.Time) string { return usec(time.Duration(t)) }
+
+func usec(d time.Duration) string {
+	return fmt.Sprintf("%d.%03d", d/time.Microsecond, d%time.Microsecond)
+}
+
+// reqRollup is the per-request latency decomposition used by both text
+// exporters: the root syscall span plus summed time per lower layer.
+type reqRollup struct {
+	root     Event
+	perLayer [numLayers]time.Duration
+}
+
+// rollup pairs each request's syscall-layer root span with the total time
+// its descendants spent in each lower layer. Requests with no syscall root
+// (background writeback rounds, journal commits) roll up under their first
+// span instead.
+func rollup(events []Event) []reqRollup {
+	byReq := ByReq(events)
+	ids := make([]ReqID, 0, len(byReq))
+	for id := range byReq {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]reqRollup, 0, len(ids))
+	for _, id := range ids {
+		var r reqRollup
+		found := false
+		for _, ev := range byReq[id] {
+			if ev.Layer == LayerSyscall && !found {
+				r.root = ev
+				found = true
+			}
+			if ev.Layer != LayerSyscall && !ev.Instant() {
+				r.perLayer[ev.Layer] += ev.Dur()
+			}
+		}
+		if !found {
+			r.root = byReq[id][0]
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// WriteRequests writes a per-request latency breakdown table: one row per
+// traced request, in request order, with the request's total latency and the
+// time its descendants spent in each lower layer. max > 0 caps the row
+// count (a note records the truncation).
+func WriteRequests(w io.Writer, events []Event, max int) {
+	rolls := rollup(events)
+	fmt.Fprintf(w, "%6s  %5s  %-13s  %12s  %12s  %12s  %12s  %12s\n",
+		"req", "pid", "op", "total", "cache", "fs", "block", "device")
+	n := 0
+	for _, r := range rolls {
+		if max > 0 && n >= max {
+			fmt.Fprintf(w, "  ... %d more requests (raise the cap or use the summary)\n", len(rolls)-n)
+			break
+		}
+		n++
+		fmt.Fprintf(w, "%6d  %5d  %-13s  %12s  %12s  %12s  %12s  %12s\n",
+			r.root.Req, int(r.root.PID), r.root.Layer.String()+"/"+r.root.Op,
+			fmtDur(r.root.Dur()), fmtDur(r.perLayer[LayerCache]), fmtDur(r.perLayer[LayerFS]),
+			fmtDur(r.perLayer[LayerBlock]), fmtDur(r.perLayer[LayerDevice]))
+	}
+}
+
+// WriteSummary writes an aggregated latency breakdown: for each (pid, op)
+// syscall group, the request count, mean and max total latency, and the mean
+// time spent per lower layer. This is the "where did the time go" table for
+// a whole run.
+func WriteSummary(w io.Writer, events []Event) {
+	type key struct {
+		pid int
+		op  string
+	}
+	type agg struct {
+		n        int
+		total    time.Duration
+		max      time.Duration
+		perLayer [numLayers]time.Duration
+	}
+	groups := make(map[key]*agg)
+	for _, r := range rollup(events) {
+		if r.root.Layer != LayerSyscall {
+			continue
+		}
+		k := key{int(r.root.PID), r.root.Op}
+		a := groups[k]
+		if a == nil {
+			a = &agg{}
+			groups[k] = a
+		}
+		a.n++
+		d := r.root.Dur()
+		a.total += d
+		if d > a.max {
+			a.max = d
+		}
+		for l, v := range r.perLayer {
+			a.perLayer[l] += v
+		}
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].op < keys[j].op
+	})
+	fmt.Fprintf(w, "%5s  %-8s  %7s  %12s  %12s  %12s  %12s  %12s  %12s\n",
+		"pid", "op", "count", "mean", "max", "cache", "fs", "block", "device")
+	for _, k := range keys {
+		a := groups[k]
+		n := time.Duration(a.n)
+		fmt.Fprintf(w, "%5d  %-8s  %7d  %12s  %12s  %12s  %12s  %12s  %12s\n",
+			k.pid, k.op, a.n, fmtDur(a.total/n), fmtDur(a.max),
+			fmtDur(a.perLayer[LayerCache]/n), fmtDur(a.perLayer[LayerFS]/n),
+			fmtDur(a.perLayer[LayerBlock]/n), fmtDur(a.perLayer[LayerDevice]/n))
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

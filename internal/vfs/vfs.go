@@ -16,6 +16,7 @@ import (
 	"splitio/internal/ioctx"
 	"splitio/internal/metrics"
 	"splitio/internal/sim"
+	"splitio/internal/trace"
 )
 
 // Hooks are the system-call-level scheduler notifications. Entry hooks run
@@ -60,6 +61,7 @@ type VFS struct {
 	fs    *fs.FS
 	cpu   *cpusim.CPU
 	hooks Hooks
+	tr    *trace.Tracer
 
 	nextPID causes.PID
 	procs   map[causes.PID]*Process
@@ -81,6 +83,7 @@ func New(env *sim.Env, filesystem *fs.FS, cpu *cpusim.CPU) *VFS {
 		env:            env,
 		fs:             filesystem,
 		cpu:            cpu,
+		tr:             trace.Nop,
 		nextPID:        100,
 		procs:          make(map[causes.PID]*Process),
 		SyscallCPU:     2 * time.Microsecond,
@@ -91,6 +94,34 @@ func New(env *sim.Env, filesystem *fs.FS, cpu *cpusim.CPU) *VFS {
 
 // SetHooks installs the scheduler's syscall hooks.
 func (v *VFS) SetHooks(h Hooks) { v.hooks = h }
+
+// SetTracer installs the kernel's tracer (nil restores the disabled Nop).
+// The syscall layer is where request IDs are born: each traced syscall
+// stamps a fresh ID into the caller's ioctx, and every lower layer
+// propagates it.
+func (v *VFS) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		tr = trace.Nop
+	}
+	v.tr = tr
+}
+
+// beginSyscall stamps a fresh trace request ID into ctx and returns the
+// span's start time. Must be called at syscall entry, before scheduler entry
+// hooks, so hook-imposed delays are visible in the trace.
+func (v *VFS) beginSyscall(p *sim.Proc, c *ioctx.Ctx) sim.Time {
+	c.Req = v.tr.NextReq()
+	return p.Now()
+}
+
+// endSyscall records the syscall-layer span.
+func (v *VFS) endSyscall(p *sim.Proc, c *ioctx.Ctx, op string, start sim.Time, ino, bytes int64, flags trace.Flag) {
+	v.tr.Record(trace.Event{
+		Layer: trace.LayerSyscall, Op: op,
+		Req: c.Req, PID: c.PID, Causes: c.Causes(),
+		Start: start, End: p.Now(), Ino: ino, Bytes: bytes, Flags: flags,
+	})
+}
 
 // FS returns the mounted file system.
 func (v *VFS) FS() *fs.FS { return v.fs }
@@ -134,6 +165,7 @@ func (v *VFS) Open(path string) (*fs.File, error) {
 
 // Create makes a new file via the creat syscall path.
 func (v *VFS) Create(p *sim.Proc, pr *Process, path string) (*fs.File, error) {
+	t0 := v.beginSyscall(p, pr.Ctx)
 	if v.hooks.CreatEntry != nil {
 		v.hooks.CreatEntry(p, pr.Ctx, path)
 	}
@@ -142,11 +174,19 @@ func (v *VFS) Create(p *sim.Proc, pr *Process, path string) (*fs.File, error) {
 	if v.hooks.CreatExit != nil {
 		v.hooks.CreatExit(p, pr.Ctx, path)
 	}
+	if v.tr.Enabled() {
+		var ino int64
+		if f != nil {
+			ino = f.Ino
+		}
+		v.endSyscall(p, pr.Ctx, trace.OpCreate, t0, ino, 0, trace.FlagMeta)
+	}
 	return f, err
 }
 
 // Mkdir makes a directory.
 func (v *VFS) Mkdir(p *sim.Proc, pr *Process, path string) error {
+	t0 := v.beginSyscall(p, pr.Ctx)
 	if v.hooks.MkdirEntry != nil {
 		v.hooks.MkdirEntry(p, pr.Ctx, path)
 	}
@@ -155,11 +195,15 @@ func (v *VFS) Mkdir(p *sim.Proc, pr *Process, path string) error {
 	if v.hooks.MkdirExit != nil {
 		v.hooks.MkdirExit(p, pr.Ctx, path)
 	}
+	if v.tr.Enabled() {
+		v.endSyscall(p, pr.Ctx, trace.OpMkdir, t0, 0, 0, trace.FlagMeta)
+	}
 	return err
 }
 
 // Unlink removes a file.
 func (v *VFS) Unlink(p *sim.Proc, pr *Process, path string) error {
+	t0 := v.beginSyscall(p, pr.Ctx)
 	if v.hooks.UnlinkEntry != nil {
 		v.hooks.UnlinkEntry(p, pr.Ctx, path)
 	}
@@ -167,6 +211,9 @@ func (v *VFS) Unlink(p *sim.Proc, pr *Process, path string) error {
 	err := v.fs.Unlink(p, pr.Ctx, path)
 	if v.hooks.UnlinkExit != nil {
 		v.hooks.UnlinkExit(p, pr.Ctx, path)
+	}
+	if v.tr.Enabled() {
+		v.endSyscall(p, pr.Ctx, trace.OpUnlink, t0, 0, 0, trace.FlagMeta)
 	}
 	return err
 }
@@ -176,6 +223,7 @@ func (v *VFS) Read(p *sim.Proc, pr *Process, f *fs.File, off, n int64) {
 	if n <= 0 {
 		return
 	}
+	t0 := v.beginSyscall(p, pr.Ctx)
 	if v.hooks.ReadEntry != nil {
 		v.hooks.ReadEntry(p, pr.Ctx, f, off, n)
 	}
@@ -191,6 +239,17 @@ func (v *VFS) Read(p *sim.Proc, pr *Process, f *fs.File, off, n int64) {
 	if v.hooks.ReadExit != nil {
 		v.hooks.ReadExit(p, pr.Ctx, f, off, n, hit)
 	}
+	if v.tr.Enabled() {
+		label := "miss"
+		if hit {
+			label = "hit"
+		}
+		v.tr.Record(trace.Event{
+			Layer: trace.LayerSyscall, Op: trace.OpRead, Label: label,
+			Req: pr.Ctx.Req, PID: pr.Ctx.PID, Causes: pr.Ctx.Causes(),
+			Start: t0, End: p.Now(), Ino: f.Ino, Bytes: n, Flags: trace.FlagRead,
+		})
+	}
 }
 
 // Write performs a write syscall: hooks, CPU, dirty pages, throttling.
@@ -198,6 +257,7 @@ func (v *VFS) Write(p *sim.Proc, pr *Process, f *fs.File, off, n int64) {
 	if n <= 0 {
 		return
 	}
+	t0 := v.beginSyscall(p, pr.Ctx)
 	if v.hooks.WriteEntry != nil {
 		v.hooks.WriteEntry(p, pr.Ctx, f, off, n)
 	}
@@ -207,17 +267,29 @@ func (v *VFS) Write(p *sim.Proc, pr *Process, f *fs.File, off, n int64) {
 	v.cpu.Use(p, time.Duration(pages)*v.CopyPageCPU)
 	v.fs.Write(p, pr.Ctx, f, off, n)
 	if v.ThrottleWrites {
+		th0 := p.Now()
 		v.fs.Cache().Throttle(p)
+		if v.tr.Enabled() && p.Now() != th0 {
+			v.tr.Record(trace.Event{
+				Layer: trace.LayerCache, Op: trace.OpThrottle,
+				Req: pr.Ctx.Req, PID: pr.Ctx.PID, Causes: pr.Ctx.Causes(),
+				Start: th0, End: p.Now(), Ino: f.Ino, Flags: trace.FlagWrite,
+			})
+		}
 	}
 	pr.BytesWritten.Add(n)
 	pr.Writes.Add(p.Now().Sub(start))
 	if v.hooks.WriteExit != nil {
 		v.hooks.WriteExit(p, pr.Ctx, f, off, n)
 	}
+	if v.tr.Enabled() {
+		v.endSyscall(p, pr.Ctx, trace.OpWrite, t0, f.Ino, n, trace.FlagWrite)
+	}
 }
 
 // Fsync performs an fsync syscall.
 func (v *VFS) Fsync(p *sim.Proc, pr *Process, f *fs.File) {
+	t0 := v.beginSyscall(p, pr.Ctx)
 	if v.hooks.FsyncEntry != nil {
 		v.hooks.FsyncEntry(p, pr.Ctx, f)
 	}
@@ -228,5 +300,8 @@ func (v *VFS) Fsync(p *sim.Proc, pr *Process, f *fs.File) {
 	pr.Fsyncs.Add(took)
 	if v.hooks.FsyncExit != nil {
 		v.hooks.FsyncExit(p, pr.Ctx, f, took)
+	}
+	if v.tr.Enabled() {
+		v.endSyscall(p, pr.Ctx, trace.OpFsync, t0, f.Ino, 0, trace.FlagSync|trace.FlagWrite)
 	}
 }

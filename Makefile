@@ -1,12 +1,16 @@
 # Tier-1 verification plus static and race checks.
 #
-#   make check    vet + build + tests + race-enabled tests
+#   make check    vet + lint + build + tests + race-enabled tests
+#   make lint     splitlint determinism-contract analyzers (see DESIGN.md)
 
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench lint
 
-check: vet build test race
+check: vet lint build test race
+
+lint:
+	$(GO) run ./cmd/splitlint
 
 build:
 	$(GO) build ./...

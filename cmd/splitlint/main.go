@@ -1,0 +1,74 @@
+// Command splitlint checks the module against the simulator's determinism
+// contract (see internal/analysis). It type-checks every package and runs
+// the five analyzers — simclock, simrand, maporder, nogoroutine, layerdep —
+// in one process.
+//
+// Usage:
+//
+//	splitlint [-json] [module-root]
+//
+// With no argument the module root is found by walking up from the current
+// directory to the nearest go.mod. Findings are printed one per line as
+// "file:line: [analyzer] message" (or as a JSON array with -json) and the
+// exit status is 1 when there are findings, 2 on load errors, 0 when clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"splitio/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Parse()
+	os.Exit(run(os.Stdout, os.Stderr, *jsonOut, flag.Arg(0)))
+}
+
+// run executes the suite and returns the process exit code.
+func run(stdout, stderr io.Writer, asJSON bool, root string) int {
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "splitlint:", err)
+			return 2
+		}
+	}
+	findings, err := analysis.Run(root, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintln(stderr, "splitlint:", err)
+		return 2
+	}
+	if err := analysis.WriteFindings(stdout, findings, asJSON); err != nil {
+		fmt.Fprintln(stderr, "splitlint:", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "splitlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

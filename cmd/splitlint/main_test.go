@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the CLI to lint.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestJSONOutput covers the acceptance scenario from the issue: deliberately
+// adding a time.Now to internal/cache makes splitlint fail, and -json emits
+// machine-readable findings.
+func TestJSONOutput(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module splitio\n\ngo 1.22\n",
+		"internal/cache/cache.go": `package cache
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, true, root); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.File != "internal/cache/cache.go" || f.Line != 5 || f.Analyzer != "simclock" {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestCleanModule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module splitio\n\ngo 1.22\n",
+		"internal/cache/cache.go": `package cache
+
+// PageSize is determinism-contract-clean code.
+const PageSize = 4096
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, true, root); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stdout: %s, stderr: %s)", code, stdout.String(), stderr.String())
+	}
+	var findings []json.RawMessage
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("clean -json output invalid: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean module produced findings: %s", stdout.String())
+	}
+}

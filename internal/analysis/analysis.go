@@ -1,0 +1,297 @@
+// Package analysis is splitlint: a static-analysis suite that enforces the
+// simulator's determinism contract. The paper's results depend on controlled,
+// repeatable schedules, and the reproduction substitutes a deterministic
+// discrete-event simulation for the kernel; these analyzers turn the rules
+// that make same-seed runs byte-identical into compiler-checked facts rather
+// than conventions:
+//
+//   - simclock: no wall-clock reads (time.Now/Since/Sleep/...) — virtual
+//     time comes from internal/sim only.
+//   - simrand: no global math/rand top-level functions — randomness must
+//     flow through the seeded sim RNG.
+//   - maporder: no range over a map whose body has order-dependent effects
+//     (mutating sim state, appending to slices that are never sorted,
+//     emitting trace/metric events) — the classic silent nondeterminism.
+//   - nogoroutine: no go statements, channel operations, or sync primitives
+//     inside the single-threaded DES core (sim, core, vfs, cache, fs,
+//     block, device, sched).
+//   - layerdep: imports between the split-level layer packages must flow
+//     downward along vfs → cache → fs → block → device, mirroring the
+//     paper's hook layering.
+//
+// Findings are reported as "file:line: [analyzer] message". A finding can be
+// suppressed with a directive on the same line or the line directly above:
+//
+//	//splitlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; a directive without one is itself reported. The
+// suite is stdlib-only (go/ast + go/types) and runs over the whole module in
+// one process so `make check` stays fast.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// File is the path of the offending file, relative to the module root.
+	File string `json:"file"`
+	// Line and Col are 1-based source coordinates.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Analyzer names the rule that fired (simclock, simrand, ...).
+	Analyzer string `json:"analyzer"`
+	// Message describes the violation.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the canonical "file:line: [analyzer] message"
+// form used by the splitlint CLI.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// Path is the package's import path (e.g. "splitio/internal/cache").
+	Path string
+	// ModPath is the module path from go.mod (e.g. "splitio").
+	ModPath string
+	Files   []*ast.File
+	// TypesInfo may be partially filled when type checking hit errors
+	// (analyzers must tolerate nil/invalid types for sub-expressions).
+	TypesInfo *types.Info
+	Pkg       *types.Package
+
+	report func(analyzer string, pos token.Pos, msg string)
+}
+
+// Reportf records a finding for the given analyzer at pos.
+func (p *Pass) Reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	p.report(analyzer, pos, fmt.Sprintf(format, args...))
+}
+
+// Analyzer is one determinism rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// Analyzers returns the full splitlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerSimClock,
+		AnalyzerSimRand,
+		AnalyzerMapOrder,
+		AnalyzerNoGoroutine,
+		AnalyzerLayerDep,
+	}
+}
+
+// ignoreDirective is one parsed //splitlint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool
+	line      int // line the directive appears on
+	malformed bool
+}
+
+const ignorePrefix = "//splitlint:ignore"
+
+// parseIgnores extracts all splitlint:ignore directives from a file.
+func parseIgnores(fset *token.FileSet, file *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			d := ignoreDirective{line: fset.Position(c.Pos()).Line}
+			names, reason, _ := strings.Cut(rest, " ")
+			if names == "" || strings.TrimSpace(reason) == "" {
+				d.malformed = true
+			} else {
+				d.analyzers = map[string]bool{}
+				for _, n := range strings.Split(names, ",") {
+					d.analyzers[strings.TrimSpace(n)] = true
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressor answers "is this finding suppressed?" for one package.
+type suppressor struct {
+	// byFile maps file path -> line -> set of suppressed analyzer names.
+	byFile map[string]map[int]map[string]bool
+}
+
+func newSuppressor(pass *Pass) (*suppressor, []Finding) {
+	s := &suppressor{byFile: map[string]map[int]map[string]bool{}}
+	var malformed []Finding
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		for _, d := range parseIgnores(pass.Fset, f) {
+			if d.malformed {
+				malformed = append(malformed, Finding{
+					File:     fname, // relativized by the runner
+					Line:     d.line,
+					Col:      1,
+					Analyzer: "splitlint",
+					Message:  "malformed ignore directive (want //splitlint:ignore <analyzer> <reason>)",
+				})
+				continue
+			}
+			lines := s.byFile[fname]
+			if lines == nil {
+				lines = map[int]map[string]bool{}
+				s.byFile[fname] = lines
+			}
+			// A directive suppresses findings on its own line and on the
+			// line directly below (the standalone-comment-above form).
+			for _, ln := range []int{d.line, d.line + 1} {
+				set := lines[ln]
+				if set == nil {
+					set = map[string]bool{}
+					lines[ln] = set
+				}
+				for a := range d.analyzers {
+					set[a] = true
+				}
+			}
+		}
+	}
+	return s, malformed
+}
+
+func (s *suppressor) suppressed(file string, line int, analyzer string) bool {
+	return s.byFile[file][line][analyzer]
+}
+
+// Run loads every package under root (a module root containing go.mod) and
+// applies the analyzers, returning findings sorted by file, line, analyzer.
+func Run(root string, analyzers []*Analyzer) ([]Finding, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, runPackage(loader, pkg, analyzers)...)
+	}
+	sortFindings(findings)
+	return dedup(findings), nil
+}
+
+func runPackage(loader *Loader, pkg *Package, analyzers []*Analyzer) []Finding {
+	pass := &Pass{
+		Fset:      loader.Fset,
+		Path:      pkg.ImportPath,
+		ModPath:   loader.ModPath,
+		Files:     pkg.Files,
+		TypesInfo: pkg.Info,
+		Pkg:       pkg.Types,
+	}
+	var raw []Finding
+	cur := ""
+	pass.report = func(analyzer string, pos token.Pos, msg string) {
+		if analyzer == "" {
+			analyzer = cur
+		}
+		p := loader.Fset.Position(pos)
+		raw = append(raw, Finding{
+			File:     p.Filename,
+			Line:     p.Line,
+			Col:      p.Column,
+			Analyzer: analyzer,
+			Message:  msg,
+		})
+	}
+	sup, malformed := newSuppressor(pass)
+	raw = append(raw, malformed...)
+	for _, a := range analyzers {
+		cur = a.Name
+		a.Run(pass)
+	}
+	var out []Finding
+	for _, f := range raw {
+		if sup.suppressed(f.File, f.Line, f.Analyzer) {
+			continue
+		}
+		if rel, err := filepath.Rel(loader.Root, f.File); err == nil {
+			f.File = filepath.ToSlash(rel)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// dedup drops exact-duplicate findings from a sorted slice.
+func dedup(fs []Finding) []Finding {
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// WriteFindings renders findings to w, one per line in the canonical text
+// form, or as a JSON array when asJSON is set. The JSON form is a stable
+// machine-readable contract: an array (never null) of objects with file,
+// line, col, analyzer, and message fields.
+func WriteFindings(w io.Writer, findings []Finding, asJSON bool) error {
+	if asJSON {
+		if findings == nil {
+			findings = []Finding{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(findings)
+	}
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

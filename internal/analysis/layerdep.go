@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// layerRank orders the split-level layer packages from the syscall boundary
+// down to the hardware, mirroring the paper's hook placement: system-call
+// layer (vfs), page cache, file system, block layer, device. An import from
+// layer A to layer B is legal only when B is strictly deeper than A —
+// downward imports may skip layers (the framework hooks all levels), but
+// nothing may import upward or sideways.
+var layerRank = map[string]int{
+	"vfs":    0,
+	"cache":  1,
+	"fs":     2,
+	"block":  3,
+	"device": 4,
+}
+
+var layerOrder = "vfs → cache → fs → block → device"
+
+// layerOf returns the layer name for an import path, or "" if the path is
+// not one of the five layer packages. Only the exact packages participate;
+// support packages (sim, trace, ioctx, ...) and composition roots (core,
+// exp) are unconstrained.
+func layerOf(modPath, path string) string {
+	rest, ok := strings.CutPrefix(path, modPath+"/internal/")
+	if !ok {
+		return ""
+	}
+	if _, ok := layerRank[rest]; ok {
+		return rest
+	}
+	return ""
+}
+
+// AnalyzerLayerDep enforces the split-level layer DAG on imports.
+var AnalyzerLayerDep = &Analyzer{
+	Name: "layerdep",
+	Doc:  "imports between layer packages must flow downward " + layerOrder,
+	Run: func(pass *Pass) {
+		from := layerOf(pass.ModPath, pass.Path)
+		if from == "" {
+			return
+		}
+		for _, file := range pass.Files {
+			for _, imp := range file.Imports {
+				to := layerOf(pass.ModPath, importPath(imp))
+				if to == "" {
+					continue
+				}
+				if layerRank[to] <= layerRank[from] {
+					dir := "upward"
+					if layerRank[to] == layerRank[from] {
+						dir = "self"
+					}
+					pass.Reportf("", imp.Pos(), "%s import: layer %s may not import %s (imports must flow downward %s); invert the dependency with an interface defined in %s",
+						dir, from, to, layerOrder, from)
+				}
+			}
+		}
+	},
+}

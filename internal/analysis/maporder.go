@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerMapOrder flags `range` over a map whose loop body has
+// order-dependent effects. Go randomizes map iteration order on purpose, so
+// any body that mutates sim state, appends to a slice that is never sorted,
+// or calls out (trace events, metrics, scheduling) silently injects
+// nondeterminism.
+//
+// A map range is accepted without a directive only when its body is provably
+// order-insensitive:
+//
+//   - empty body, or statements that only accumulate commutatively into
+//     locals (x++, x--, x += e, x |= e, ... with pure operands);
+//   - pure local definitions (v := expr with no calls);
+//   - delete(m, k) — per-entry deletion commutes;
+//   - writes other[k] = pure-expr keyed by the loop key (keys are unique,
+//     so insertion order cannot matter);
+//   - append of loop variables to a slice, provided a later statement in
+//     the same function sorts that slice (the collect-then-sort idiom);
+//   - control flow (if/for/switch/block) over pure conditions whose bodies
+//     satisfy the same rules, break/continue, and returns of pure
+//     expressions that do not mention the loop variables.
+//
+// Everything else — calls, sends, writes through pointers or fields,
+// returns of a loop variable — is reported. The check is a deliberate
+// over-approximation: when it cannot prove order-insensitivity it fires,
+// and genuinely safe code is annotated with //splitlint:ignore and a reason.
+var AnalyzerMapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-dependent effects in range-over-map bodies",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if pass.TypesInfo == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		// Track ancestry so append targets can be checked for a later
+		// sort in the enclosing function.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			c := &mapOrderCheck{pass: pass, rs: rs, stack: append([]ast.Node(nil), stack...)}
+			c.checkBody(rs.Body)
+			return true
+		})
+	}
+}
+
+type mapOrderCheck struct {
+	pass  *Pass
+	rs    *ast.RangeStmt
+	stack []ast.Node
+}
+
+// reportf records a finding anchored at the range statement itself (not the
+// offending statement inside the body) so one //splitlint:ignore on the loop
+// line covers the loop. pos is still used to pinpoint the detail when the
+// body spans many lines.
+func (c *mapOrderCheck) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf("map iteration order reaches program state: "+format, args...)
+	if p := c.pass.Fset.Position(pos); p.Line != c.pass.Fset.Position(c.rs.Pos()).Line {
+		msg += fmt.Sprintf(" (line %d)", p.Line)
+	}
+	c.pass.Reportf("maporder", c.rs.Pos(), "%s; sort the keys first or annotate with //splitlint:ignore", msg)
+}
+
+// loopVarNames returns the names bound by the range statement (key/value).
+func (c *mapOrderCheck) loopVarNames() map[string]bool {
+	names := map[string]bool{}
+	for _, e := range []ast.Expr{c.rs.Key, c.rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			names[id.Name] = true
+		}
+	}
+	return names
+}
+
+func (c *mapOrderCheck) checkBody(body *ast.BlockStmt) {
+	for _, st := range body.List {
+		c.checkStmt(st)
+	}
+}
+
+func (c *mapOrderCheck) checkStmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.IncDecStmt:
+		if _, ok := st.X.(*ast.Ident); !ok {
+			c.reportf(st.Pos(), "increment of a non-local expression inside the loop body")
+		}
+	case *ast.AssignStmt:
+		c.checkAssign(st)
+	case *ast.ExprStmt:
+		c.checkExprStmt(st)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if !isPureExpr(c.pass, st.Cond) {
+			c.reportf(st.Cond.Pos(), "condition with side effects inside the loop body")
+		}
+		c.checkBody(st.Body)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *ast.BlockStmt:
+		c.checkBody(st)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil && !isPureExpr(c.pass, st.Cond) {
+			c.reportf(st.Cond.Pos(), "condition with side effects inside the loop body")
+		}
+		if st.Post != nil {
+			c.checkStmt(st.Post)
+		}
+		c.checkBody(st.Body)
+	case *ast.RangeStmt:
+		if !isPureExpr(c.pass, st.X) {
+			c.reportf(st.X.Pos(), "range expression with side effects inside the loop body")
+		}
+		// A nested map range is checked independently by the outer visitor
+		// (with its own anchor and ignore line); don't double-report its
+		// body here.
+		if t := c.pass.TypesInfo.TypeOf(st.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return
+			}
+		}
+		c.checkBody(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Tag != nil && !isPureExpr(c.pass, st.Tag) {
+			c.reportf(st.Tag.Pos(), "switch tag with side effects inside the loop body")
+		}
+		for _, cc := range st.Body.List {
+			for _, s := range cc.(*ast.CaseClause).Body {
+				c.checkStmt(s)
+			}
+		}
+	case *ast.BranchStmt:
+		// break/continue/goto-free labels are order-neutral.
+	case *ast.ReturnStmt:
+		loopVars := c.loopVarNames()
+		for _, res := range st.Results {
+			if !isPureExpr(c.pass, res) || mentionsAny(res, loopVars) {
+				c.reportf(st.Pos(), "early return of a loop-dependent value (the element hit first is arbitrary)")
+				return
+			}
+		}
+	case *ast.DeclStmt:
+		// var/const declarations: pure unless an initializer has effects.
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				if !isPureExpr(c.pass, v) {
+					c.reportf(v.Pos(), "declaration with side effects inside the loop body")
+				}
+			}
+		}
+	default:
+		c.reportf(st.Pos(), "statement of type %T inside the loop body", st)
+	}
+}
+
+// commutativeAssignOps are compound assignments whose repeated application
+// commutes, so iteration order cannot change the result.
+var commutativeAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.OR_ASSIGN: true, token.AND_ASSIGN: true, token.XOR_ASSIGN: true,
+}
+
+func (c *mapOrderCheck) checkAssign(st *ast.AssignStmt) {
+	if commutativeAssignOps[st.Tok] {
+		if _, ok := st.Lhs[0].(*ast.Ident); !ok {
+			c.reportf(st.Pos(), "compound assignment to a non-local expression")
+			return
+		}
+		if !isPureExpr(c.pass, st.Rhs[0]) {
+			c.reportf(st.Rhs[0].Pos(), "assignment right-hand side has side effects")
+		}
+		return
+	}
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		c.reportf(st.Pos(), "non-commutative compound assignment (%s) inside the loop body", st.Tok)
+		return
+	}
+	for i, lhs := range st.Lhs {
+		var rhs ast.Expr
+		if i < len(st.Rhs) {
+			rhs = st.Rhs[i]
+		}
+		c.checkSingleAssign(st, lhs, rhs)
+	}
+}
+
+func (c *mapOrderCheck) checkSingleAssign(st *ast.AssignStmt, lhs, rhs ast.Expr) {
+	// s = append(s, ...) is the collect idiom: fine iff s is later sorted.
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+			target, ok := lhs.(*ast.Ident)
+			if !ok {
+				c.reportf(st.Pos(), "append to a non-local slice")
+				return
+			}
+			for _, arg := range call.Args {
+				if !isPureExpr(c.pass, arg) {
+					c.reportf(arg.Pos(), "append argument has side effects")
+					return
+				}
+			}
+			if !c.sortedAfterLoop(target.Name) {
+				c.reportf(st.Pos(), "slice %s collects map elements but is never sorted afterwards in this function", target.Name)
+			}
+			return
+		}
+	}
+	if rhs != nil && !isPureExpr(c.pass, rhs) {
+		c.reportf(rhs.Pos(), "assignment right-hand side has side effects")
+		return
+	}
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		// Local scalar tracking (sum = sum + v, best = v, found = true).
+		// Argmax-with-ties is technically order-dependent, but flagging
+		// every comparison drowns the signal; ties on distinct map keys
+		// must be broken by key, which code review owns.
+	case *ast.IndexExpr:
+		// other[k] = v keyed by the unique loop key is order-free; keying
+		// by the value (or anything else) lets duplicates collide, making
+		// the last writer iteration-order dependent.
+		if id, ok := lhs.Index.(*ast.Ident); ok {
+			if key, ok := c.rs.Key.(*ast.Ident); ok && key.Name != "_" && id.Name == key.Name {
+				return
+			}
+		}
+		c.reportf(st.Pos(), "map/slice write not keyed by the loop key (duplicate targets make the last writer iteration-order dependent)")
+	default:
+		c.reportf(st.Pos(), "assignment through a pointer, field, or dereference inside the loop body")
+	}
+}
+
+func (c *mapOrderCheck) checkExprStmt(st *ast.ExprStmt) {
+	call, ok := st.X.(*ast.CallExpr)
+	if !ok {
+		c.reportf(st.Pos(), "expression statement inside the loop body")
+		return
+	}
+	if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "delete" {
+		for _, arg := range call.Args {
+			if !isPureExpr(c.pass, arg) {
+				c.reportf(arg.Pos(), "delete argument has side effects")
+				return
+			}
+		}
+		return
+	}
+	c.reportf(call.Pos(), "call %s may mutate sim state or emit trace/metric events in arbitrary order", exprString(call.Fun))
+}
+
+// sortedAfterLoop reports whether a statement after the range loop, in some
+// enclosing block within the same function, passes the named slice to a
+// sort.* / slices.* call.
+func (c *mapOrderCheck) sortedAfterLoop(name string) bool {
+	// Walk outward from the loop toward the enclosing function; at each
+	// block level, scan the statements after the one containing the loop.
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		switch node := c.stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // don't cross function boundaries
+		case *ast.BlockStmt:
+			idx := -1
+			for j, st := range node.List {
+				if st.Pos() <= c.rs.Pos() && c.rs.End() <= st.End() {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			for _, st := range node.List[idx+1:] {
+				if stmtSorts(st, name) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// stmtSorts reports whether st (or any statement nested in it) calls a
+// sort.*/slices.* function with an argument mentioning name.
+func stmtSorts(st ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsAny(arg, map[string]bool{name: true}) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsAny reports whether expr references any identifier in names.
+func mentionsAny(e ast.Expr, names map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

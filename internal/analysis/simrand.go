@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// globalRandFuncs are the top-level math/rand (and math/rand/v2) functions
+// that draw from package-global generator state. Constructing a private
+// seeded generator (rand.New(rand.NewSource(seed))) is the approved pattern
+// and is not flagged, nor are methods on *rand.Rand values.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint": true, "Uint32N": true,
+	"Uint64N": true,
+}
+
+// AnalyzerSimRand flags calls to global math/rand top-level functions. The
+// global generator is shared mutable state seeded outside the simulation's
+// control, so any draw from it breaks same-seed reproducibility; randomness
+// must flow through the seeded sim RNG (sim.Env.Rand).
+var AnalyzerSimRand = &Analyzer{
+	Name: "simrand",
+	Doc:  "forbid global math/rand functions; use the seeded sim RNG",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if !globalRandFuncs[sel.Sel.Name] {
+					return true
+				}
+				q := qualifier(pass, file, sel)
+				if q != "math/rand" && q != "math/rand/v2" {
+					return true
+				}
+				pass.Reportf("", sel.Pos(), "rand.%s uses the global generator; draw from the seeded sim RNG (sim.Env.Rand) instead", sel.Sel.Name)
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,4 @@
+package cache
+
+// PageSize is referenced by the (illegally) upward-importing fs fixture.
+const PageSize = 4096

@@ -1,0 +1,6 @@
+package device
+
+import "splitio/internal/vfs"
+
+// Depth imports the syscall layer from the very bottom of the DAG.
+const Depth = vfs.Depth + 4

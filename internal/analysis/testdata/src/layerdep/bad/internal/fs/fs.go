@@ -1,0 +1,6 @@
+package fs
+
+import "splitio/internal/cache"
+
+// BlockSize imports upward: fs sits below cache in the layer DAG.
+const BlockSize = cache.PageSize

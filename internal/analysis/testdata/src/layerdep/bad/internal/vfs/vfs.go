@@ -1,0 +1,4 @@
+package vfs
+
+// Depth marks the top of the layer DAG.
+const Depth = 0

@@ -1,0 +1,6 @@
+package block
+
+import "splitio/internal/device"
+
+// RequestBytes flows downward one layer: block → device.
+const RequestBytes = device.BlockSize

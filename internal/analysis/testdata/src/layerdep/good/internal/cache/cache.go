@@ -1,0 +1,6 @@
+package cache
+
+import "splitio/internal/block"
+
+// PageSize flows downward and may skip layers: cache → block.
+const PageSize = block.RequestBytes

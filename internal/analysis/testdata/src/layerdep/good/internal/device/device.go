@@ -1,0 +1,4 @@
+package device
+
+// BlockSize anchors the bottom of the layer DAG.
+const BlockSize = 4096

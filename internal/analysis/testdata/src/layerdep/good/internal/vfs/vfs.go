@@ -1,0 +1,9 @@
+package vfs
+
+import (
+	"splitio/internal/cache"
+	"splitio/internal/device"
+)
+
+// CopyUnit shows the syscall layer hooking any depth below it.
+const CopyUnit = cache.PageSize + device.BlockSize

@@ -1,0 +1,34 @@
+package cache
+
+func emit(int64) {}
+
+// CallInBody emits an event per element in arbitrary order.
+func CallInBody(m map[int64]int64) {
+	for k := range m {
+		emit(k)
+	}
+}
+
+// UnsortedKeys collects keys but never sorts them.
+func UnsortedKeys(m map[int64]int64) []int64 {
+	var keys []int64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// FirstKey returns whichever element iteration happens to hit first.
+func FirstKey(m map[int64]int64) int64 {
+	for k := range m {
+		return k
+	}
+	return 0
+}
+
+// Invert writes keyed by map values: duplicates make the winner arbitrary.
+func Invert(m, out map[int64]int64) {
+	for k, v := range m {
+		out[v] = k
+	}
+}

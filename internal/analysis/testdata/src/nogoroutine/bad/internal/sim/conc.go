@@ -1,0 +1,13 @@
+package sim
+
+import "sync"
+
+var mu sync.Mutex
+
+// Fanout uses real concurrency inside the DES core.
+func Fanout(ch chan int) int {
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}

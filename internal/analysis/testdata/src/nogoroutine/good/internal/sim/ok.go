@@ -1,0 +1,4 @@
+package sim
+
+// Step is plain single-threaded simulator code.
+func Step(n int) int { return n + 1 }

@@ -1,0 +1,15 @@
+package cache
+
+import "time"
+
+// Stamp reads the host clock — the canonical simclock violation.
+func Stamp() time.Time { return time.Now() }
+
+// Elapsed uses time.Since, a disguised host-clock read.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Nap blocks on host time instead of virtual time.
+func Nap() { time.Sleep(time.Millisecond) }
+
+//splitlint:ignore simclock
+func malformedDirective() time.Time { return time.Now() }

@@ -1,0 +1,14 @@
+package cache
+
+import "time"
+
+// Durations describe virtual-time spans; only host-clock reads are banned.
+const commitInterval = 5 * time.Second
+
+// Interval returns a deterministic duration.
+func Interval(n int64) time.Duration { return time.Duration(n) * commitInterval }
+
+// hostStamp demonstrates the allowlist: a well-formed directive with a
+// reason suppresses the finding on the next line.
+//splitlint:ignore simclock fixture: demonstrates host-side allowlisting with a reason
+func hostStamp() time.Time { return time.Now() }

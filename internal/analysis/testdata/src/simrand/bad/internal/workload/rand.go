@@ -1,0 +1,14 @@
+package workload
+
+import (
+	mrand "math/rand"
+)
+
+// Jitter draws from the global generator — unseeded, shared state.
+func Jitter() int { return mrand.Intn(10) }
+
+// Reseed mutates the global generator.
+func Reseed() { mrand.Seed(42) }
+
+// Mix uses a global float draw through the renamed import.
+func Mix() float64 { return mrand.Float64() }

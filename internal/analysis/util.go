@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// qualifier returns the import path of the package a selector expression is
+// qualified with (e.g. "time" for time.Now), or "" when sel is not a
+// package-qualified selector. Resolution prefers type information (which is
+// immune to shadowing) and falls back to the file's import table when the
+// type checker had nothing for the identifier.
+func qualifier(pass *Pass, file *ast.File, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pass.TypesInfo != nil {
+		if obj, ok := pass.TypesInfo.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return "" // a variable/field shadowing the package name
+		}
+	}
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// importPath unquotes an import spec's path.
+func importPath(spec *ast.ImportSpec) string {
+	path, err := strconv.Unquote(spec.Path.Value)
+	if err != nil {
+		return ""
+	}
+	return path
+}
+
+// isPureExpr reports whether e contains no calls, channel receives, or other
+// effects — only literals, identifiers, selectors, indexing, and operators.
+// len, cap, and conversions of pure operands count as pure.
+func isPureExpr(pass *Pass, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn, ok := n.Fun.(*ast.Ident); ok {
+				switch fn.Name {
+				case "len", "cap", "min", "max":
+					return true // operands still inspected
+				}
+			}
+			// Type conversions (int64(x), sim.Time(x)) are pure.
+			if pass.TypesInfo != nil {
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+					return true
+				}
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}

@@ -150,7 +150,9 @@ func (c *Cache) SetTracer(tr *trace.Tracer) {
 }
 
 // SetWriteback installs the file system's flush callback.
-func (c *Cache) SetWriteback(fn WritebackFn) { c.writeback = fn }
+// The parameter is spelled as an unnamed func type so that fs.PageCache can
+// name this method without importing cache.
+func (c *Cache) SetWriteback(fn func(p *sim.Proc, ino int64, max int) int) { c.writeback = fn }
 
 // SetPdflushEnabled turns the periodic writeback daemon on or off. Split
 // schedulers that take complete control of writeback (paper §7.1.2) turn it
@@ -438,7 +440,21 @@ func (c *Cache) FreeFile(ino int64) {
 func (c *Cache) CheckConsistency() error {
 	var dirty int64
 	var tagSum int64
-	for key, pg := range c.pages {
+	// Iterate in sorted key order so the first violation reported is the
+	// same on every run (map order would make the error message — exported
+	// output — nondeterministic).
+	keys := make([]pageKey, 0, len(c.pages))
+	for key := range c.pages {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ino != keys[j].ino {
+			return keys[i].ino < keys[j].ino
+		}
+		return keys[i].idx < keys[j].idx
+	})
+	for _, key := range keys {
+		pg := c.pages[key]
 		if pg.key != key {
 			return fmt.Errorf("cache: page key mismatch at %v", key)
 		}
@@ -466,8 +482,19 @@ func (c *Cache) CheckConsistency() error {
 		return fmt.Errorf("cache: tagBytes %d != actual %d", c.tagBytes, tagSum)
 	}
 	var inSets int64
-	for ino, df := range c.dirtyFiles {
+	inos := make([]int64, 0, len(c.dirtyFiles))
+	for ino := range c.dirtyFiles {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
+		df := c.dirtyFiles[ino]
+		idxs := make([]int64, 0, len(df.pages))
 		for idx := range df.pages {
+			idxs = append(idxs, idx)
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for _, idx := range idxs {
 			pg, ok := c.pages[pageKey{ino, idx}]
 			if !ok || !pg.dirty {
 				return fmt.Errorf("cache: dirtyFiles entry (%d,%d) has no dirty page", ino, idx)

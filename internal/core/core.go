@@ -23,6 +23,11 @@ import (
 	"splitio/internal/vfs"
 )
 
+// The layer DAG keeps fs from importing cache, so fs declares its own
+// BlockSize; this compile-time assertion fails (negative constant converted
+// to uint) if the two ever diverge.
+const _ = uint(fs.BlockSize-cache.PageSize) + uint(cache.PageSize-fs.BlockSize)
+
 // Scheduler is a scheduling plug-in. A scheduler supplies the block-level
 // elevator and, in Attach, may register system-call hooks (vfs.Hooks),
 // memory hooks (cache.MemHooks), and block hooks (block.Hooks) on the

@@ -24,7 +24,6 @@ import (
 	"time"
 
 	"splitio/internal/block"
-	"splitio/internal/cache"
 	"splitio/internal/causes"
 	"splitio/internal/device"
 	"splitio/internal/ioctx"
@@ -32,8 +31,42 @@ import (
 	"splitio/internal/trace"
 )
 
-// BlockSize is the file-system block size (equals the page size).
-const BlockSize = cache.PageSize
+// BlockSize is the file-system block size. It must equal the page-cache
+// page size (cache.PageSize); the layer DAG forbids fs from importing cache
+// (imports flow downward vfs → cache → fs → block → device), so the
+// equality is asserted at compile time in internal/core where both layers
+// meet.
+const BlockSize = 4096
+
+// PageCache is the page-cache surface the file system writes through. It is
+// declared here rather than importing internal/cache so the dependency
+// points downward: cache calls into fs via the writeback function, fs calls
+// up into the cache only through this interface, and the composition root
+// (internal/core) wires a *cache.Cache in.
+type PageCache interface {
+	// Lookup reports whether (ino, idx) is resident, updating LRU state.
+	Lookup(ino, idx int64) bool
+	// InsertClean adds a clean resident page.
+	InsertClean(ino, idx int64)
+	// MarkDirty dirties a page on behalf of ctx, tagging it with ctx's
+	// causes. It reports whether the page was newly dirtied.
+	MarkDirty(ctx *ioctx.Ctx, ino, idx int64) bool
+	// TakeDirty removes up to max dirty pages of ino (all if max <= 0),
+	// returning their indices and cause tags.
+	TakeDirty(ino int64, max int) (idxs []int64, tags []causes.Set)
+	// FreeFile drops every page of ino.
+	FreeFile(ino int64)
+	// FileDirtyPages returns ino's dirty page count.
+	FileDirtyPages(ino int64) int64
+	// SetWriteback installs the function the cache calls to flush dirty
+	// pages of a file.
+	SetWriteback(fn func(p *sim.Proc, ino int64, max int) int)
+	// Misses returns the cumulative miss count (the VFS uses it to
+	// classify a read as hit or miss).
+	Misses() int64
+	// Throttle blocks p while dirty pages exceed the dirty threshold.
+	Throttle(p *sim.Proc)
+}
 
 // ErrNotFound is returned for paths that do not exist.
 var ErrNotFound = errors.New("fs: not found")
@@ -139,7 +172,7 @@ func (t *txn) empty() bool { return t.metaBlocks == 0 && len(t.inos) == 0 }
 type FS struct {
 	env   *sim.Env
 	cfg   Config
-	cache *cache.Cache
+	cache PageCache
 	blk   *block.Layer
 	tr    *trace.Tracer
 
@@ -181,7 +214,7 @@ type FS struct {
 // New creates a file system over cache and blk. jctx and wbCtx are the
 // journal and writeback task identities; the file system installs itself as
 // the cache's writeback function.
-func New(env *sim.Env, cfg Config, c *cache.Cache, blk *block.Layer, jctx, wbCtx *ioctx.Ctx) *FS {
+func New(env *sim.Env, cfg Config, c PageCache, blk *block.Layer, jctx, wbCtx *ioctx.Ctx) *FS {
 	f := &FS{
 		env:           env,
 		cfg:           cfg,
@@ -227,7 +260,7 @@ func (f *FS) SetTracer(tr *trace.Tracer) {
 }
 
 // Cache returns the page cache the file system uses.
-func (f *FS) Cache() *cache.Cache { return f.cache }
+func (f *FS) Cache() PageCache { return f.cache }
 
 // Block returns the block layer.
 func (f *FS) Block() *block.Layer { return f.blk }
@@ -678,7 +711,15 @@ func (f *FS) Fsync(p *sim.Proc, ctx *ioctx.Ctx, file *File) {
 
 // SyncAll flushes all dirty data and commits the running transaction.
 func (f *FS) SyncAll(p *sim.Proc, ctx *ioctx.Ctx) {
+	// Flush in sorted ino order: flush order determines the I/O request
+	// stream, so ranging the map directly would make the schedule differ
+	// run to run with the same seed.
+	inos := make([]int64, 0, len(f.byIno))
 	for ino := range f.byIno {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
 		f.flushFileData(p, ctx, ino, 0, true)
 	}
 	if !f.running.empty() {
@@ -821,6 +862,7 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 // Split-Deadline uses to estimate commit cost.
 func (f *FS) RunningTxnInfo() (metaBlocks int64, depDirtyPages int64) {
 	t := f.running
+	//splitlint:ignore maporder FileDirtyPages is a read-only accessor and += over it is commutative; this runs on scheduler decisions, so skip the sort+alloc
 	for ino := range t.dataDeps {
 		depDirtyPages += f.cache.FileDirtyPages(ino)
 	}

@@ -5,6 +5,7 @@
 package schedtest
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -106,7 +107,16 @@ func AssertLayerSpans(t *testing.T, events []trace.Event, layers ...trace.Layer)
 // hit the platter ahead of the data it orders.
 func AssertOrderedCommits(t *testing.T, events []trace.Event) (checked int) {
 	t.Helper()
-	for req, evs := range RequestTree(events) {
+	// Walk request trees in sorted ID order so failure output is stable
+	// across runs (map order would shuffle the t.Errorf lines).
+	tree := RequestTree(events)
+	reqs := make([]trace.ReqID, 0, len(tree))
+	for req := range tree {
+		reqs = append(reqs, req)
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
+	for _, req := range reqs {
+		evs := tree[req]
 		// The barrier device span is the commit record reaching the device.
 		barrier := sim.Time(0)
 		haveBarrier := false

@@ -68,7 +68,7 @@ type Env struct {
 	seq    int64
 	rng    *rand.Rand
 	procs  []*Proc
-	park   chan struct{}
+	park   chan struct{} //splitlint:ignore nogoroutine coroutine engine: exactly one goroutine runs at a time; the park/resume handoff IS the deterministic scheduler
 	cur    *Proc
 	closed bool
 }
@@ -78,7 +78,7 @@ type Env struct {
 func NewEnv(seed int64) *Env {
 	return &Env{
 		rng:  rand.New(rand.NewSource(seed)),
-		park: make(chan struct{}),
+		park: make(chan struct{}), //splitlint:ignore nogoroutine coroutine engine: exactly one goroutine runs at a time; the park/resume handoff IS the deterministic scheduler
 	}
 }
 
@@ -114,7 +114,7 @@ type procKilled struct{}
 type Proc struct {
 	env    *Env
 	name   string
-	resume chan struct{}
+	resume chan struct{} //splitlint:ignore nogoroutine coroutine engine: exactly one goroutine runs at a time; the park/resume handoff IS the deterministic scheduler
 	dead   bool
 	killed bool
 	// blocked reports whether the proc is parked awaiting an external
@@ -135,10 +135,10 @@ func (p *Proc) Now() Time { return p.env.now }
 // The process body runs cooperatively: it holds the simulation until it
 // sleeps, waits, or returns.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p := &Proc{env: e, name: name, resume: make(chan struct{})} //splitlint:ignore nogoroutine coroutine engine: exactly one goroutine runs at a time; the park/resume handoff IS the deterministic scheduler
 	e.procs = append(e.procs, p)
-	go func() {
-		<-p.resume
+	go func() { //splitlint:ignore nogoroutine coroutine engine: exactly one goroutine runs at a time; the park/resume handoff IS the deterministic scheduler
+		<-p.resume //splitlint:ignore nogoroutine proc goroutine blocks here until runProc hands it the single execution token
 		defer func() {
 			p.dead = true
 			if r := recover(); r != nil {
@@ -148,7 +148,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 					panic(fmt.Sprintf("sim: process %q panicked: %v", name, r))
 				}
 			}
-			e.park <- struct{}{}
+			e.park <- struct{}{} //splitlint:ignore nogoroutine hand the execution token back to the event loop on proc exit
 		}()
 		if p.killed {
 			panic(procKilled{})
@@ -166,15 +166,15 @@ func (e *Env) runProc(p *Proc) {
 	}
 	prev := e.cur
 	e.cur = p
-	p.resume <- struct{}{}
-	<-e.park
+	p.resume <- struct{}{} //splitlint:ignore nogoroutine hand the single execution token to p
+	<-e.park //splitlint:ignore nogoroutine wait until p parks; no two procs ever run concurrently
 	e.cur = prev
 }
 
 // block parks the calling process until something calls env.runProc on it.
 func (p *Proc) block() {
-	p.env.park <- struct{}{}
-	<-p.resume
+	p.env.park <- struct{}{} //splitlint:ignore nogoroutine park: return the execution token to the event loop
+	<-p.resume //splitlint:ignore nogoroutine sleep until the event loop hands the token back
 	if p.killed {
 		panic(procKilled{})
 	}

@@ -92,6 +92,7 @@ func (s *Stride) PickMin(eligible func(id int64) bool) (int64, bool) {
 	best := int64(0)
 	bestPass := math.Inf(1)
 	found := false
+	//splitlint:ignore maporder result is order-independent: total order on (pass, id) with ties broken by lowest id; eligible is a pure predicate
 	for id, c := range s.clients {
 		if eligible != nil && !eligible(id) {
 			continue
@@ -110,6 +111,7 @@ func (s *Stride) IsMin(id int64, eligible func(id int64) bool) bool {
 	if !ok {
 		return false
 	}
+	//splitlint:ignore maporder existence check (any client with lower pass?) is order-independent; eligible is a pure predicate
 	for oid, oc := range s.clients {
 		if oid == id {
 			continue

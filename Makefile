@@ -1,13 +1,14 @@
 # Tier-1 verification plus static and race checks.
 #
-#   make check    vet + lint + build + tests + race-enabled tests
-#   make lint     splitlint determinism-contract analyzers (see DESIGN.md)
+#   make check       vet + lint + build + tests + race + crash-consistency smoke
+#   make lint        splitlint determinism-contract analyzers (see DESIGN.md)
+#   make crashsweep  fault-injected crash sweep; fails on any invariant violation
 
 GO ?= go
 
-.PHONY: check build test vet race bench lint
+.PHONY: check build test vet race bench lint crashsweep
 
-check: vet lint build test race
+check: vet lint build test race crashsweep
 
 lint:
 	$(GO) run ./cmd/splitlint
@@ -26,3 +27,6 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+crashsweep:
+	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 crashsweep

@@ -4,10 +4,17 @@
 //
 //	splitbench [-scale F] [-seed N] [-trace FILE] [-stats] [experiment ...]
 //
-// With no arguments it runs every experiment (fig1..fig21, table1..table3)
-// in paper order. Scale < 1 shortens measurement windows proportionally.
+// With no arguments it runs every experiment (fig1..fig21, table1..table3,
+// plus extensions such as crashsweep) in paper order. Scale < 1 shortens
+// measurement windows proportionally.
 //
 //	splitbench -scale 0.2 fig12 fig13
+//
+// The crashsweep experiment fault-injects every scheduler on both file
+// systems and disks, sweeps crash images over each run's persistence log,
+// and reports durability-invariant violations (zero on a correct stack):
+//
+//	splitbench -scale 0.1 crashsweep
 //
 // -trace FILE records a cross-layer request trace of the run and writes it
 // as Chrome trace_event JSON (load it at chrome://tracing or
@@ -87,6 +94,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
 		os.Exit(2)
 	}
+	failed := false
 	for _, e := range exps {
 		// Host-side timing allowlist: this measures how long the benchmark
 		// driver itself took on the host, printed alongside results; it
@@ -95,6 +103,14 @@ func main() {
 		start := time.Now() //splitlint:ignore simclock host-side wall time for the progress banner, never enters the simulation
 		tab := e.Run(opts)
 		printTable(tab, time.Since(start)) //splitlint:ignore simclock host-side wall time for the progress banner, never enters the simulation
+		// Checking experiments (crashsweep) report invariant violations via
+		// this metric; a nonzero count fails the run so `make crashsweep`
+		// gates CI.
+		if tab.Metrics["violations_total"] > 0 {
+			fmt.Fprintf(os.Stderr, "splitbench: %s reported %.0f invariant violations\n",
+				tab.ID, tab.Metrics["violations_total"])
+			failed = true
+		}
 	}
 
 	if opts.Tracer != nil {
@@ -112,6 +128,9 @@ func main() {
 			fmt.Printf("\nmachine %s:\n", m.Label)
 			m.Registry.WriteText(os.Stdout)
 		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

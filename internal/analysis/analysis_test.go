@@ -80,11 +80,14 @@ func TestNoGoroutineFixtures(t *testing.T) {
 
 func TestLayerDepFixtures(t *testing.T) {
 	assertFindings(t, fixture(t, AnalyzerLayerDep, "layerdep/bad"), []string{
-		"internal/device/device.go:3: [layerdep] upward import: layer device may not import vfs (imports must flow downward vfs → cache → fs → block → device); invert the dependency with an interface defined in device",
-		"internal/fs/fs.go:3: [layerdep] upward import: layer fs may not import cache (imports must flow downward vfs → cache → fs → block → device); invert the dependency with an interface defined in fs",
+		"internal/crash/crash.go:3: [layerdep] upward import: layer crash may not import cache (imports must flow downward vfs → cache → crash → fs → block → fault → device); invert the dependency with an interface defined in crash",
+		"internal/device/device.go:3: [layerdep] upward import: layer device may not import vfs (imports must flow downward vfs → cache → crash → fs → block → fault → device); invert the dependency with an interface defined in device",
+		"internal/fault/fault.go:3: [layerdep] upward import: layer fault may not import block (imports must flow downward vfs → cache → crash → fs → block → fault → device); invert the dependency with an interface defined in fault",
+		"internal/fs/fs.go:3: [layerdep] upward import: layer fs may not import cache (imports must flow downward vfs → cache → crash → fs → block → fault → device); invert the dependency with an interface defined in fs",
 	})
 	// The good fixture exercises downward and layer-skipping imports
-	// (vfs → cache, vfs → device, cache → block, block → device).
+	// (vfs → cache, vfs → device, cache → block, fs → block, crash → fs,
+	// crash → fault, fault → device, block → device).
 	assertFindings(t, fixture(t, AnalyzerLayerDep, "layerdep/good"), nil)
 }
 

@@ -6,22 +6,26 @@ import (
 
 // layerRank orders the split-level layer packages from the syscall boundary
 // down to the hardware, mirroring the paper's hook placement: system-call
-// layer (vfs), page cache, file system, block layer, device. An import from
-// layer A to layer B is legal only when B is strictly deeper than A —
-// downward imports may skip layers (the framework hooks all levels), but
-// nothing may import upward or sideways.
+// layer (vfs), page cache, file system, block layer, device. The crash
+// checker sits above fs (it interprets file-system recovery over the fault
+// log) and the fault plane sits between block and device (it wraps the disk
+// model). An import from layer A to layer B is legal only when B is strictly
+// deeper than A — downward imports may skip layers (the framework hooks all
+// levels), but nothing may import upward or sideways.
 var layerRank = map[string]int{
 	"vfs":    0,
 	"cache":  1,
-	"fs":     2,
-	"block":  3,
-	"device": 4,
+	"crash":  2,
+	"fs":     3,
+	"block":  4,
+	"fault":  5,
+	"device": 6,
 }
 
-var layerOrder = "vfs → cache → fs → block → device"
+var layerOrder = "vfs → cache → crash → fs → block → fault → device"
 
 // layerOf returns the layer name for an import path, or "" if the path is
-// not one of the five layer packages. Only the exact packages participate;
+// not one of the layer packages. Only the exact packages participate;
 // support packages (sim, trace, ioctx, ...) and composition roots (core,
 // exp) are unconstrained.
 func layerOf(modPath, path string) string {

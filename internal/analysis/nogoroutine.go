@@ -13,8 +13,11 @@ import (
 // interleavings. internal/sim is included deliberately: its coroutine
 // engine is the one legitimate user of go/chan, and each such line carries
 // an explicit //splitlint:ignore with the invariant that keeps it
-// deterministic (exactly one runnable goroutine at any instant).
-var desCorePackages = []string{"sim", "core", "vfs", "cache", "fs", "block", "device", "sched"}
+// deterministic (exactly one runnable goroutine at any instant). The fault
+// plane runs inside the event loop (its wrapper sits on the device's
+// ServiceTime path), so it is core too; the crash checker analyses the fault
+// log after the simulation and stays outside.
+var desCorePackages = []string{"sim", "core", "vfs", "cache", "fs", "block", "device", "sched", "fault"}
 
 func inDESCore(pass *Pass) bool {
 	prefix := pass.ModPath + "/internal/"

@@ -1,0 +1,4 @@
+package block
+
+// Queued is referenced by the (illegally) upward-importing fault fixture.
+const Queued = 1

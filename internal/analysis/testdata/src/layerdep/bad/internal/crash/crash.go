@@ -1,0 +1,6 @@
+package crash
+
+import "splitio/internal/cache"
+
+// ImageSize imports upward: crash sits below cache in the layer DAG.
+const ImageSize = cache.PageSize

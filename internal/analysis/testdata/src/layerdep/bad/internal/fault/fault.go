@@ -1,0 +1,6 @@
+package fault
+
+import "splitio/internal/block"
+
+// Pending imports upward: fault sits below block in the layer DAG.
+const Pending = block.Queued

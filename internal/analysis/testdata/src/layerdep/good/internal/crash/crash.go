@@ -1,0 +1,10 @@
+package crash
+
+import (
+	"splitio/internal/fault"
+	"splitio/internal/fs"
+)
+
+// ImageBytes shows the crash checker reading both the file system it
+// recovers and the fault plane whose log it consumes.
+const ImageBytes = fs.BlockSize + fault.SectorSize

@@ -1,0 +1,6 @@
+package fault
+
+import "splitio/internal/device"
+
+// SectorSize flows downward one layer: fault wraps the device.
+const SectorSize = device.BlockSize

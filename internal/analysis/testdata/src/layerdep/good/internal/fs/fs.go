@@ -1,0 +1,6 @@
+package fs
+
+import "splitio/internal/block"
+
+// BlockSize flows downward one layer: fs → block.
+const BlockSize = block.RequestBytes

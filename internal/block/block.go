@@ -59,6 +59,11 @@ type Request struct {
 	// schedulers revise their memory-level cost estimates per page when the
 	// true on-disk cost is known (paper §3.2). Nil for reads and journal I/O.
 	Pages []int64
+	// TxnID is the journal transaction the request serves: the descriptor
+	// and commit record of a committing transaction, plus the ordered-mode
+	// data flushes its commit forces (0 otherwise). Schedulers must not use
+	// it; the fault plane needs it to tie crash images to transactions.
+	TxnID int64
 
 	// Deadline is an absolute deadline, or zero for none (Block-Deadline
 	// fills this from per-process settings).
@@ -257,6 +262,14 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 		l.stats.Dispatched++
 		if l.hooks != nil {
 			l.hooks.BlockDispatched(r)
+		}
+		if an, ok := l.disk.(device.Annotator); ok {
+			// Device wrappers that model durability (the fault plane) need
+			// the request's semantic tags; raw models ignore them.
+			an.Annotate(device.RequestInfo{
+				Sync: r.Sync, Journal: r.Journal, Meta: r.Meta, Barrier: r.Barrier,
+				FileID: r.FileID, TxnID: r.TxnID, Pages: r.Pages,
+			})
 		}
 		svc := l.disk.ServiceTime(r.Op, r.LBA, r.Blocks, time.Duration(p.Now()), r.Barrier)
 		var pos, xfer time.Duration

@@ -15,6 +15,7 @@ import (
 	"splitio/internal/cache"
 	"splitio/internal/cpusim"
 	"splitio/internal/device"
+	"splitio/internal/fault"
 	"splitio/internal/fs"
 	"splitio/internal/ioctx"
 	"splitio/internal/metrics"
@@ -85,6 +86,12 @@ type Options struct {
 	// It is strictly opt-in: the sampler is a simulated process, so enabling
 	// it perturbs event interleaving and changes experiment results slightly.
 	MetricsInterval time.Duration
+	// Fault, when non-nil, interposes a fault.Device between the block layer
+	// and the disk model: the device timing is unchanged, but every media
+	// write is recorded in a persistence log and the plan's faults (power
+	// cut, torn/lost writes, read errors) are injected. The wrapper is
+	// exposed as Kernel.Fault; Kernel.Disk stays the raw model.
+	Fault *fault.Plan
 }
 
 // DefaultOptions returns an 8-core HDD/ext4 machine.
@@ -102,6 +109,10 @@ type Kernel struct {
 	FS    *fs.FS
 	VFS   *vfs.VFS
 	Sched Scheduler
+
+	// Fault is the fault-plane device wrapper, non-nil iff Options.Fault was
+	// set. Its Log() feeds the crash checker (internal/crash).
+	Fault *fault.Device
 
 	// Trace is the kernel's tracer. It is always non-nil; it records nothing
 	// until Enabled (Options.Tracer pre-enabled, or Trace.Enable()).
@@ -137,7 +148,15 @@ func NewKernelOn(env *sim.Env, opts Options, factory Factory) *Kernel {
 		cores = 8
 	}
 	sched := factory(env)
-	blk := block.NewLayer(env, disk, sched.Elevator())
+	// The block layer drives the fault wrapper when a plan is set; Kernel.Disk
+	// stays the raw model so cost models can type-switch on it.
+	blkDisk := disk
+	var fd *fault.Device
+	if opts.Fault != nil {
+		fd = fault.Wrap(disk, opts.Fault)
+		blkDisk = fd
+	}
+	blk := block.NewLayer(env, blkDisk, sched.Elevator())
 	wbCtx := &ioctx.Ctx{PID: 2, Name: "pdflush", Prio: 4}
 	jctx := &ioctx.Ctx{PID: 3, Name: "jbd", Prio: 4}
 	ccfg := cache.DefaultConfig()
@@ -175,6 +194,7 @@ func NewKernelOn(env *sim.Env, opts Options, factory Factory) *Kernel {
 		FS:      filesystem,
 		VFS:     v,
 		Sched:   sched,
+		Fault:   fd,
 		Trace:   tr,
 		Metrics: metrics.NewRegistry(),
 		WBCtx:   wbCtx,
@@ -210,6 +230,9 @@ func (k *Kernel) registerGauges() {
 	r.Gauge("block.queue_depth", func() float64 { return float64(k.Block.QueueDepth()) })
 	r.Gauge("block.dispatched", func() float64 { return float64(k.Block.Stats().Dispatched) })
 	r.Gauge("block.busy_seconds", func() float64 { return k.Block.Stats().BusyTime.Seconds() })
+	if k.Fault != nil {
+		k.Fault.RegisterMetrics(r)
+	}
 }
 
 // Spawn registers a process and starts its body as a simulated process.

@@ -50,6 +50,47 @@ type Disk interface {
 	Blocks() int64
 }
 
+// RequestInfo carries block-layer request metadata down to device wrappers.
+// The Disk interface deliberately knows nothing about journals, files, or
+// transactions; wrappers that model durability (the fault-injection device)
+// need those semantic tags, so the block dispatcher hands them over out of
+// band via Annotator immediately before the matching ServiceTime call.
+type RequestInfo struct {
+	Sync    bool
+	Journal bool
+	Meta    bool
+	Barrier bool
+	// FileID is the inode a data request belongs to (0 for journal I/O).
+	FileID int64
+	// TxnID is the journal transaction the request serves: the descriptor
+	// and commit record of the transaction, plus the ordered-mode data
+	// flushes its commit forces (0 otherwise).
+	TxnID int64
+	// Pages lists the file page indices a data write covers (nil otherwise).
+	Pages []int64
+}
+
+// Annotator is implemented by device wrappers that want the block-layer
+// metadata of the request about to be served. The dispatcher calls Annotate
+// immediately before the matching ServiceTime; the wrapper consumes the
+// pending info there. Raw disk models do not implement it.
+type Annotator interface {
+	Annotate(info RequestInfo)
+}
+
+// DurabilityMarker is implemented by device wrappers that track durability
+// promises (the fault plane's persistence log). The file system captures
+// MediaWrites after an fsync has flushed its data and calls MarkDurable once
+// the commit barrier is acknowledged, promising that every media write of
+// ino with sequence below upTo survives any later crash.
+type DurabilityMarker interface {
+	// MediaWrites returns the number of media writes served so far.
+	MediaWrites() int64
+	// MarkDurable records the promise that ino's writes below upTo are
+	// durable as of the current media-write sequence.
+	MarkDurable(ino, upTo int64)
+}
+
 // Breakdowner is implemented by disk models that can split their most recent
 // ServiceTime result into a positioning component (seek + rotation, or flash
 // access latency) and a media-transfer component. The block layer uses it to

@@ -126,6 +126,7 @@ var All = []Experiment{
 	{"table1", "Framework properties", Table1},
 	{"table2", "Split hooks", Table2},
 	{"table3", "Deadline settings", Table3},
+	{"crashsweep", "Crash-consistency sweep (fault plane)", CrashSweep},
 }
 
 // ByID returns the experiment with the given ID.

@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"time"
+
+	"splitio/internal/device"
+	"splitio/internal/metrics"
+	"splitio/internal/sim"
+)
+
+// Device wraps a device.Disk, forwarding all timing to the inner model while
+// applying a fault Plan and recording the persistence log. It preserves the
+// inner disk's dispatch-order state machine exactly: service times of
+// non-faulted requests are identical to an unwrapped run, so a zero-fault
+// plan changes nothing but adds the log.
+type Device struct {
+	inner device.Disk
+	plan  *Plan
+	log   *Log
+
+	pending  device.RequestInfo
+	cut      bool
+	injected [numKinds]int64
+}
+
+// Interface conformance: the wrapper must be a drop-in Disk and expose the
+// annotation and durability surfaces the block and fs layers probe for.
+var (
+	_ device.Disk             = (*Device)(nil)
+	_ device.Breakdowner      = (*Device)(nil)
+	_ device.Annotator        = (*Device)(nil)
+	_ device.DurabilityMarker = (*Device)(nil)
+)
+
+// Wrap returns a fault device around inner driven by plan (a nil plan
+// injects nothing but still records the log).
+func Wrap(inner device.Disk, plan *Plan) *Device {
+	if plan == nil {
+		plan = NewPlan(1)
+	}
+	return &Device{inner: inner, plan: plan, log: NewLog()}
+}
+
+// Inner returns the wrapped disk model.
+func (d *Device) Inner() device.Disk { return d.inner }
+
+// Log returns the persistence log recorded so far.
+func (d *Device) Log() *Log { return d.log }
+
+// Plan returns the fault plan.
+func (d *Device) Plan() *Plan { return d.plan }
+
+// Injected returns how many faults of kind k have been injected.
+func (d *Device) Injected(k Kind) int64 {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return d.injected[k]
+}
+
+// Name implements Disk; the prefix makes wrapped runs self-identifying in
+// traces and reports.
+func (d *Device) Name() string { return "fault+" + d.inner.Name() }
+
+// Blocks implements Disk.
+func (d *Device) Blocks() int64 { return d.inner.Blocks() }
+
+// SeqBandwidth implements Disk.
+func (d *Device) SeqBandwidth() float64 { return d.inner.SeqBandwidth() }
+
+// Breakdown implements Breakdowner by forwarding to the inner model.
+func (d *Device) Breakdown() (position, transfer time.Duration) {
+	if bd, ok := d.inner.(device.Breakdowner); ok {
+		return bd.Breakdown()
+	}
+	return 0, 0
+}
+
+// Annotate implements device.Annotator: the block dispatcher stores the
+// semantic tags of the next request here, and ServiceTime consumes them.
+func (d *Device) Annotate(info device.RequestInfo) { d.pending = info }
+
+// MediaWrites implements device.DurabilityMarker.
+func (d *Device) MediaWrites() int64 { return int64(len(d.log.Records)) }
+
+// MarkDurable implements device.DurabilityMarker, recording an fsync
+// acknowledgement promise into the log.
+func (d *Device) MarkDurable(ino, upTo int64) {
+	d.log.Marks = append(d.log.Marks, Mark{Ino: ino, UpTo: upTo, AckSeq: int64(len(d.log.Records))})
+}
+
+// ServiceTime implements Disk: it forwards to the inner model, then logs
+// writes (with the plan's per-write fault decisions) and injects read
+// errors. The power cut is evaluated before the write is logged, so the cut
+// point lies between records.
+func (d *Device) ServiceTime(op device.Op, lba int64, n int, now time.Duration, barrier bool) time.Duration {
+	info := d.pending
+	d.pending = device.RequestInfo{}
+	if n <= 0 {
+		n = 1
+	}
+	svc := d.inner.ServiceTime(op, lba, n, now, barrier)
+	if op == device.Read {
+		if d.plan.readError() {
+			d.injected[KindReadError]++
+			d.log.ReadFaults = append(d.log.ReadFaults, ReadFault{At: sim.Time(now) + sim.Time(svc), LBA: lba})
+			// A latent sector error costs one internal retry pass.
+			svc *= 2
+		}
+		return svc
+	}
+	seq := int64(len(d.log.Records))
+	if !d.cut {
+		if (d.plan.CutTime > 0 && now >= d.plan.CutTime) ||
+			(d.plan.CutAfterWrites > 0 && seq >= d.plan.CutAfterWrites) {
+			d.cut = true
+			d.log.CutIndex = int(seq)
+			d.injected[KindPowerCut]++
+		}
+	}
+	rec := Record{
+		Seq:     seq,
+		At:      sim.Time(now) + sim.Time(svc),
+		LBA:     lba,
+		Blocks:  n,
+		Sync:    info.Sync,
+		Journal: info.Journal,
+		Meta:    info.Meta,
+		Barrier: barrier,
+		FileID:  info.FileID,
+		TxnID:   info.TxnID,
+		Pages:   info.Pages,
+	}
+	if rec.Torn = d.plan.tornBlocks(n); rec.Torn > 0 {
+		d.injected[KindTornWrite]++
+	}
+	if d.plan.lost() {
+		rec.Lost = true
+		d.injected[KindLostWrite]++
+	}
+	d.log.Records = append(d.log.Records, rec)
+	return svc
+}
+
+// RegisterMetrics adds the fault plane's standard gauges to r.
+func (d *Device) RegisterMetrics(r *metrics.Registry) {
+	r.Gauge("fault.media_writes", func() float64 { return float64(len(d.log.Records)) })
+	r.Gauge("fault.fsync_marks", func() float64 { return float64(len(d.log.Marks)) })
+	r.Gauge("fault.injected_power_cut", func() float64 { return float64(d.injected[KindPowerCut]) })
+	r.Gauge("fault.injected_torn_writes", func() float64 { return float64(d.injected[KindTornWrite]) })
+	r.Gauge("fault.injected_lost_writes", func() float64 { return float64(d.injected[KindLostWrite]) })
+	r.Gauge("fault.injected_read_errors", func() float64 { return float64(d.injected[KindReadError]) })
+}

@@ -1,0 +1,117 @@
+// Package fault is the deterministic fault-injection plane of the simulated
+// stack. A seeded Plan schedules device misbehavior in virtual time —
+// power cuts (at a wall time or after the Nth media write), torn multi-block
+// writes, silently lost writes, and latent sector read errors — and a Device
+// wrapper applies the plan to any device.Disk while recording a persistence
+// log of what actually reached media.
+//
+// The log is the ground truth the crash checker (internal/crash) consumes:
+// every acknowledged media write in dispatch order, its barrier/journal/
+// transaction tags, the plan's per-write fault decisions, and the durability
+// promises the file system made at fsync acknowledgement. All fault
+// decisions are drawn in dispatch order from the plan's private seeded
+// generator, so a fixed seed and workload yield a byte-identical fault
+// schedule and log.
+//
+// Fault kinds split into two classes. Power cuts and torn writes are legal
+// device behavior under the barrier contract: a correct file system survives
+// them, and the default crash sweep injects only these (expecting zero
+// violations). Lost writes and read errors are device lies — the checker
+// exists to detect the damage they cause, and tests inject them to prove
+// detection works.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Kind enumerates the injectable fault kinds.
+type Kind int
+
+// Fault kinds.
+const (
+	KindPowerCut Kind = iota
+	KindTornWrite
+	KindLostWrite
+	KindReadError
+	numKinds
+)
+
+var kindNames = [numKinds]string{"power-cut", "torn-write", "lost-write", "read-error"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Kinds lists every fault kind in declaration order.
+func Kinds() []Kind {
+	return []Kind{KindPowerCut, KindTornWrite, KindLostWrite, KindReadError}
+}
+
+// Plan is a seeded fault schedule. The zero probabilities and zero cut
+// triggers mean "never"; a Plan with only a Seed injects nothing but still
+// records the persistence log.
+type Plan struct {
+	// Seed drives the plan's private generator. Per-write decisions are
+	// drawn in dispatch order, so the schedule is a pure function of
+	// (seed, configuration, write stream).
+	Seed int64
+	// CutTime powers the machine down when virtual time reaches it
+	// (0 = never). Writes dispatched at or after CutTime land after the
+	// cut point in the log.
+	CutTime time.Duration
+	// CutAfterWrites powers down immediately before the Nth media write
+	// (0 = never).
+	CutAfterWrites int64
+	// TornProb is the per-write probability that a multi-block write is
+	// torn: if a crash catches it in the volatile window, only a prefix of
+	// its blocks persists. Tearing is legal crash behavior, not a lie.
+	TornProb float64
+	// LostProb is the per-write probability the device acknowledges a write
+	// that never reaches media — the silent lie the checker must catch.
+	LostProb float64
+	// ReadErrProb is the per-read probability of a latent sector error,
+	// served with an internal retry (the read costs twice its service time).
+	ReadErrProb float64
+
+	rng *rand.Rand
+}
+
+// NewPlan returns a plan that injects nothing until probabilities or cut
+// triggers are set.
+func NewPlan(seed int64) *Plan { return &Plan{Seed: seed} }
+
+// rand returns the plan's private seeded generator, the approved pattern for
+// deterministic randomness outside the sim environment.
+func (pl *Plan) rand() *rand.Rand {
+	if pl.rng == nil {
+		pl.rng = rand.New(rand.NewSource(pl.Seed))
+	}
+	return pl.rng
+}
+
+// tornBlocks decides whether a write of n blocks is torn, returning how many
+// leading blocks would survive a crash mid-transfer (0 = not torn).
+func (pl *Plan) tornBlocks(n int) int {
+	if pl.TornProb <= 0 || n < 2 {
+		return 0
+	}
+	if pl.rand().Float64() >= pl.TornProb {
+		return 0
+	}
+	return 1 + pl.rand().Intn(n-1)
+}
+
+// lost decides whether a write is silently dropped.
+func (pl *Plan) lost() bool {
+	return pl.LostProb > 0 && pl.rand().Float64() < pl.LostProb
+}
+
+// readError decides whether a read hits a latent sector error.
+func (pl *Plan) readError() bool {
+	return pl.ReadErrProb > 0 && pl.rand().Float64() < pl.ReadErrProb
+}

@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"splitio/internal/device"
+)
+
+// drive pushes a fixed write/read stream through a fault device, annotating
+// every request the way the block dispatcher does, and returns the device.
+func drive(plan *Plan) *Device {
+	d := Wrap(device.NewSSD(), plan)
+	now := time.Duration(0)
+	step := func(op device.Op, info device.RequestInfo, lba int64, n int, barrier bool) {
+		d.Annotate(info)
+		now += d.ServiceTime(op, lba, n, now, barrier)
+	}
+	for txn := int64(1); txn <= 4; txn++ {
+		for i := int64(0); i < 6; i++ {
+			step(device.Write, device.RequestInfo{FileID: 7, Pages: []int64{i, i + 1}},
+				1000+txn*64+i*2, 2, false)
+		}
+		step(device.Write, device.RequestInfo{Journal: true, Meta: true, Sync: true, TxnID: txn},
+			5000+txn*8, 3, false)
+		step(device.Write, device.RequestInfo{Journal: true, Sync: true, Barrier: true, TxnID: txn},
+			5003+txn*8, 1, true)
+		step(device.Read, device.RequestInfo{FileID: 7}, 1000+txn*64, 4, false)
+	}
+	return d
+}
+
+func logText(t *testing.T, d *Device) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Log().WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSameSeedSameLog(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		p := NewPlan(seed)
+		p.TornProb = 0.5
+		p.LostProb = 0.2
+		p.ReadErrProb = 0.3
+		p.CutAfterWrites = 20
+		return p
+	}
+	a := logText(t, drive(mk(42)))
+	b := logText(t, drive(mk(42)))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed runs produced different logs:\n%s\n--- vs ---\n%s", a, b)
+	}
+	if c := logText(t, drive(mk(43))); bytes.Equal(a, c) {
+		t.Error("different seeds produced identical fault schedules (suspicious)")
+	}
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	d := drive(NewPlan(1))
+	if got := len(d.Log().Records); got != 32 {
+		t.Fatalf("recorded %d writes, want 32", got)
+	}
+	if d.Log().CutIndex != -1 {
+		t.Errorf("zero plan set CutIndex=%d, want -1", d.Log().CutIndex)
+	}
+	for _, k := range Kinds() {
+		if n := d.Injected(k); n != 0 {
+			t.Errorf("zero plan injected %d %s faults", n, k)
+		}
+	}
+	// Timing must be identical to the unwrapped model.
+	inner := device.NewSSD()
+	rec := d.Log().Records[0]
+	want := inner.ServiceTime(device.Write, rec.LBA, rec.Blocks, 0, rec.Barrier)
+	if got := time.Duration(rec.At); got != want {
+		t.Errorf("first write acked at %v, unwrapped model says %v", got, want)
+	}
+}
+
+func TestPowerCutByWriteCount(t *testing.T) {
+	p := NewPlan(7)
+	p.CutAfterWrites = 10
+	d := drive(p)
+	if d.Log().CutIndex != 10 {
+		t.Fatalf("CutIndex=%d, want 10", d.Log().CutIndex)
+	}
+	if d.Injected(KindPowerCut) != 1 {
+		t.Fatalf("power cut injected %d times, want 1", d.Injected(KindPowerCut))
+	}
+	// Writes keep being logged after the cut: the checker decides what the
+	// crash image contains; the device keeps simulating.
+	if got := len(d.Log().Records); got != 32 {
+		t.Errorf("recorded %d writes, want 32", got)
+	}
+}
+
+func TestPowerCutByTime(t *testing.T) {
+	p := NewPlan(7)
+	p.CutTime = time.Microsecond // after the first write completes
+	d := drive(p)
+	if d.Log().CutIndex <= 0 || d.Log().CutIndex >= 32 {
+		t.Fatalf("CutIndex=%d, want an interior crash point", d.Log().CutIndex)
+	}
+	if d.Injected(KindPowerCut) != 1 {
+		t.Fatalf("power cut injected %d times, want 1", d.Injected(KindPowerCut))
+	}
+}
+
+func TestLastBarrierSkipsLostBarriers(t *testing.T) {
+	l := NewLog()
+	l.Records = []Record{
+		{Seq: 0, Barrier: false},
+		{Seq: 1, Barrier: true},
+		{Seq: 2, Barrier: false},
+		{Seq: 3, Barrier: true, Lost: true},
+		{Seq: 4, Barrier: false},
+	}
+	if got := l.LastBarrier(5); got != 1 {
+		t.Errorf("LastBarrier(5)=%d, want 1 (lost barrier at 3 does not flush)", got)
+	}
+	if got := l.LastBarrier(1); got != -1 {
+		t.Errorf("LastBarrier(1)=%d, want -1", got)
+	}
+	if got := l.LastBarrier(99); got != 1 {
+		t.Errorf("LastBarrier clamps cut; got %d, want 1", got)
+	}
+}
+
+func TestDurabilityMarks(t *testing.T) {
+	d := Wrap(device.NewSSD(), NewPlan(1))
+	if d.MediaWrites() != 0 {
+		t.Fatalf("fresh device reports %d media writes", d.MediaWrites())
+	}
+	d.Annotate(device.RequestInfo{FileID: 9, Pages: []int64{0}})
+	d.ServiceTime(device.Write, 100, 1, 0, false)
+	upTo := d.MediaWrites()
+	d.Annotate(device.RequestInfo{Journal: true, Barrier: true, TxnID: 1})
+	d.ServiceTime(device.Write, 200, 1, 0, true)
+	d.MarkDurable(9, upTo)
+	marks := d.Log().Marks
+	if len(marks) != 1 {
+		t.Fatalf("recorded %d marks, want 1", len(marks))
+	}
+	if m := marks[0]; m.Ino != 9 || m.UpTo != 1 || m.AckSeq != 2 {
+		t.Errorf("mark = %+v, want {Ino:9 UpTo:1 AckSeq:2}", m)
+	}
+}
+
+func TestFaultCounters(t *testing.T) {
+	p := NewPlan(3)
+	p.TornProb = 1
+	p.LostProb = 1
+	p.ReadErrProb = 1
+	d := drive(p)
+	if d.Injected(KindTornWrite) == 0 {
+		t.Error("TornProb=1 injected no torn writes")
+	}
+	if d.Injected(KindLostWrite) != 32 {
+		t.Errorf("LostProb=1 lost %d/32 writes", d.Injected(KindLostWrite))
+	}
+	if d.Injected(KindReadError) != 4 {
+		t.Errorf("ReadErrProb=1 injected %d read errors, want 4", d.Injected(KindReadError))
+	}
+	if len(d.Log().ReadFaults) != 4 {
+		t.Errorf("logged %d read faults, want 4", len(d.Log().ReadFaults))
+	}
+	// Single-block writes cannot tear.
+	for i := range d.Log().Records {
+		r := &d.Log().Records[i]
+		if r.Blocks == 1 && r.Torn != 0 {
+			t.Errorf("single-block record %d torn to %d", r.Seq, r.Torn)
+		}
+		if r.Torn >= r.Blocks {
+			t.Errorf("record %d torn to %d of %d blocks (must be a strict prefix)", r.Seq, r.Torn, r.Blocks)
+		}
+	}
+}

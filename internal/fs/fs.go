@@ -189,6 +189,9 @@ type FS struct {
 	nextTxnID  int64
 	commitQ    []*txn
 	commitWake *sim.WaitQueue
+	// flushTxnID tags journal-driven data flushes (the ordered-mode pass of
+	// commit) with the committing transaction, for the fault plane's log.
+	flushTxnID int64
 
 	jctx  *ioctx.Ctx // journal task identity
 	wbCtx *ioctx.Ctx // writeback task identity (shared with the cache)
@@ -601,6 +604,9 @@ func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync
 			Pages:     append([]int64(nil), idxs[i:j]...),
 			Req:       reqOf(ctx),
 		}
+		if ctx == f.jctx {
+			req.TxnID = f.flushTxnID
+		}
 		if ctx != nil && ctx.WriteDeadline > 0 {
 			req.Deadline = f.env.Now().Add(ctx.WriteDeadline)
 		}
@@ -696,21 +702,31 @@ func (f *FS) writebackFile(p *sim.Proc, ino int64, max int) int {
 // processes' data entangles here: ordered mode flushes every data dependency
 // of the transaction before the commit record.
 func (f *FS) Fsync(p *sim.Proc, ctx *ioctx.Ctx, file *File) {
+	mk, _ := f.blk.Disk().(device.DurabilityMarker)
 	f.waitInflight(p, file.Ino)
 	f.flushFileData(p, ctx, file.Ino, 0, true)
+	// The durability promise covers media writes issued up to the end of the
+	// data flush; anything sneaking in between here and the commit barrier
+	// (another process's writeback) is not what this fsync acknowledged.
+	var upTo int64
+	if mk != nil {
+		upTo = mk.MediaWrites()
+	}
 	if f.running.has(file.Ino) {
 		t := f.running
 		f.requestCommit(t)
 		t.done.Wait(p)
-		return
-	}
-	if f.committing != nil && f.committing.has(file.Ino) {
+	} else if f.committing != nil && f.committing.has(file.Ino) {
 		f.committing.done.Wait(p)
+	}
+	if mk != nil {
+		mk.MarkDurable(file.Ino, upTo)
 	}
 }
 
 // SyncAll flushes all dirty data and commits the running transaction.
 func (f *FS) SyncAll(p *sim.Proc, ctx *ioctx.Ctx) {
+	mk, _ := f.blk.Disk().(device.DurabilityMarker)
 	// Flush in sorted ino order: flush order determines the I/O request
 	// stream, so ranging the map directly would make the schedule differ
 	// run to run with the same seed.
@@ -722,10 +738,19 @@ func (f *FS) SyncAll(p *sim.Proc, ctx *ioctx.Ctx) {
 	for _, ino := range inos {
 		f.flushFileData(p, ctx, ino, 0, true)
 	}
+	var upTo int64
+	if mk != nil {
+		upTo = mk.MediaWrites()
+	}
 	if !f.running.empty() {
 		t := f.running
 		f.requestCommit(t)
 		t.done.Wait(p)
+	}
+	if mk != nil {
+		for _, ino := range inos {
+			mk.MarkDurable(ino, upTo)
+		}
 	}
 }
 
@@ -786,6 +811,7 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 		deps = append(deps, ino)
 	}
 	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	f.flushTxnID = t.id
 	for _, ino := range deps {
 		depStart := f.env.Now()
 		f.waitInflight(p, ino)
@@ -799,6 +825,7 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 			})
 		}
 	}
+	f.flushTxnID = 0
 	// Journal writes: descriptor + metadata blocks + commit record, laid
 	// out sequentially in the journal region.
 	jcauses := causes.Of(f.jctx.PID)
@@ -822,6 +849,7 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 		Journal:   true,
 		Meta:      true,
 		Sync:      true,
+		TxnID:     t.id,
 		Req:       t.req,
 	}
 	f.blk.SubmitAndWait(p, desc)
@@ -836,6 +864,7 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 		Meta:      true,
 		Sync:      true,
 		Barrier:   true,
+		TxnID:     t.id,
 		Req:       t.req,
 	}
 	f.blk.SubmitAndWait(p, commitRec)
@@ -868,6 +897,16 @@ func (f *FS) RunningTxnInfo() (metaBlocks int64, depDirtyPages int64) {
 	}
 	return t.metaBlocks, depDirtyPages
 }
+
+// JournalRegion returns the journal's on-disk placement (start block and
+// region length), for the crash checker's geometry cross-checks.
+func (f *FS) JournalRegion() (start, blocks int64) {
+	return f.journalStart, f.cfg.JournalBlocks
+}
+
+// IsCopyOnWrite reports whether the file system runs in copy-on-write mode
+// (checkpoint-rollback recovery rather than journal replay).
+func (f *FS) IsCopyOnWrite() bool { return f.cfg.CopyOnWrite }
 
 // Commits returns the number of committed transactions.
 func (f *FS) Commits() int64 { return f.statCommits }

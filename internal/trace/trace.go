@@ -85,6 +85,10 @@ const (
 	OpService  = "service"
 	OpPosition = "position"
 	OpTransfer = "transfer"
+
+	// Crash checker (post-hoc analysis over the fault plane's log).
+	OpCrashImage = "crash-image"
+	OpRecover    = "recover"
 )
 
 // Flag is a bitmask of request properties mirrored from the block layer.

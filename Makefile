@@ -1,14 +1,15 @@
 # Tier-1 verification plus static and race checks.
 #
-#   make check       vet + lint + build + tests + race + crash-consistency smoke
+#   make check       vet + lint + build + tests + race + crash-consistency smoke + report
 #   make lint        splitlint determinism-contract analyzers (see DESIGN.md)
 #   make crashsweep  fault-injected crash sweep; fails on any invariant violation
+#   make report      latency-attribution report; fails on split-scheduler inversions
 
 GO ?= go
 
-.PHONY: check build test vet race bench lint crashsweep
+.PHONY: check build test vet race bench lint crashsweep report
 
-check: vet lint build test race crashsweep
+check: vet lint build test race crashsweep report
 
 lint:
 	$(GO) run ./cmd/splitlint
@@ -30,3 +31,9 @@ bench:
 
 crashsweep:
 	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 crashsweep
+
+# Runs the entangled antagonist workload under noop/cfq/afq, writes the
+# blame-table report (the CI artifact), and exits nonzero if any split
+# scheduler shows a priority inversion.
+report:
+	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 report -format json -o report.json

@@ -20,7 +20,15 @@
 // as Chrome trace_event JSON (load it at chrome://tracing or
 // https://ui.perfetto.dev); a per-request latency breakdown and summary are
 // printed to stderr. -stats prints each simulated machine's metric registry
-// after the run.
+// after the run, including per-layer latency histograms from attribution.
+//
+// The report subcommand runs the entangled antagonist workload under a set
+// of schedulers and renders per-process latency blame tables plus detected
+// priority inversions (text or JSON); -diff compares two archived reports.
+// Any inversion under a split scheduler makes the run exit nonzero:
+//
+//	splitbench -scale 0.2 report -format json -o report.json
+//	splitbench report -diff old.json new.json
 package main
 
 import (
@@ -59,7 +67,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to `FILE`")
 	stats := flag.Bool("stats", false, "print per-machine metric registries after the run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: splitbench [-scale F] [-seed N] [-trace FILE] [-stats] [experiment ...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: splitbench [-scale F] [-seed N] [-trace FILE] [-stats] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "       splitbench [-scale F] [-seed N] report [-format text|json] [-o FILE] [-diff OLD NEW]\n\nexperiments:\n")
 		for _, e := range exp.All {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
 		}
@@ -71,6 +80,10 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if args := flag.Args(); len(args) > 0 && args[0] == "report" {
+		os.Exit(runReport(*scale, *seed, args[1:], os.Stdout, os.Stderr))
 	}
 
 	opts := exp.Options{Scale: *scale, Seed: *seed}

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -34,5 +38,60 @@ func TestResolveUnknownIDNamesOffender(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), `"fig99"`) {
 		t.Fatalf("error %q does not name the offending experiment", err)
+	}
+}
+
+func TestReportUnknownFormatIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runReport(0.2, 1, []string{"-format", "yaml"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (usage error)", code)
+	}
+	if !strings.Contains(errb.String(), `"yaml"`) {
+		t.Fatalf("stderr does not name the bad format:\n%s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("usage error still produced report output:\n%s", out.String())
+	}
+}
+
+// TestReportGoldenDeterministic: same seed, same scale, byte-identical
+// JSON report — the acceptance bar for everything attribution emits.
+func TestReportGoldenDeterministic(t *testing.T) {
+	run := func() ([]byte, int) {
+		var out, errb bytes.Buffer
+		code := runReport(0.2, 1, []string{"-format", "json", "-schedulers", "cfq,afq"}, &out, &errb)
+		if code == 2 {
+			t.Fatalf("usage error: %s", errb.String())
+		}
+		return out.Bytes(), code
+	}
+	first, code1 := run()
+	second, code2 := run()
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("report exited %d/%d, want 0 (split scheduler showed inversions?)", code1, code2)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same-seed reports differ (%d vs %d bytes)", len(first), len(second))
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(first, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+}
+
+func TestReportDiffSmoke(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	var errb bytes.Buffer
+	if code := runReport(0.2, 1, []string{"-format", "json", "-o", path, "-schedulers", "cfq"}, io.Discard, &errb); code != 0 {
+		t.Fatalf("report run exited %d: %s", code, errb.String())
+	}
+	var out bytes.Buffer
+	if code := runReport(0.2, 1, []string{"-diff", path, path}, &out, &errb); code != 0 {
+		t.Fatalf("diff exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "cfq") {
+		t.Fatalf("diff output missing scheduler section:\n%s", out.String())
 	}
 }

@@ -6,23 +6,25 @@ import (
 
 // layerRank orders the split-level layer packages from the syscall boundary
 // down to the hardware, mirroring the paper's hook placement: system-call
-// layer (vfs), page cache, file system, block layer, device. The crash
-// checker sits above fs (it interprets file-system recovery over the fault
-// log) and the fault plane sits between block and device (it wraps the disk
-// model). An import from layer A to layer B is legal only when B is strictly
-// deeper than A — downward imports may skip layers (the framework hooks all
-// levels), but nothing may import upward or sideways.
+// layer (vfs), page cache, file system, block layer, device. The latency
+// attributor (attr) and crash checker sit above fs — both consume what the
+// lower layers emit (the trace span stream; the fault log) without being
+// imported by them — and the fault plane sits between block and device (it
+// wraps the disk model). An import from layer A to layer B is legal only
+// when B is strictly deeper than A — downward imports may skip layers (the
+// framework hooks all levels), but nothing may import upward or sideways.
 var layerRank = map[string]int{
 	"vfs":    0,
 	"cache":  1,
-	"crash":  2,
-	"fs":     3,
-	"block":  4,
-	"fault":  5,
-	"device": 6,
+	"attr":   2,
+	"crash":  3,
+	"fs":     4,
+	"block":  5,
+	"fault":  6,
+	"device": 7,
 }
 
-var layerOrder = "vfs → cache → crash → fs → block → fault → device"
+var layerOrder = "vfs → cache → attr → crash → fs → block → fault → device"
 
 // layerOf returns the layer name for an import path, or "" if the path is
 // not one of the layer packages. Only the exact packages participate;

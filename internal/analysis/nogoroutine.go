@@ -15,9 +15,11 @@ import (
 // an explicit //splitlint:ignore with the invariant that keeps it
 // deterministic (exactly one runnable goroutine at any instant). The fault
 // plane runs inside the event loop (its wrapper sits on the device's
-// ServiceTime path), so it is core too; the crash checker analyses the fault
-// log after the simulation and stays outside.
-var desCorePackages = []string{"sim", "core", "vfs", "cache", "fs", "block", "device", "sched", "fault"}
+// ServiceTime path), so it is core too, as is the latency attributor: its
+// sinks run synchronously inside trace.Record on the event-loop path. The
+// crash checker analyses the fault log after the simulation and stays
+// outside.
+var desCorePackages = []string{"sim", "core", "vfs", "cache", "fs", "block", "device", "sched", "fault", "attr"}
 
 func inDESCore(pass *Pass) bool {
 	prefix := pass.ModPath + "/internal/"

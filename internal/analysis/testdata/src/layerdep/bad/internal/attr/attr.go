@@ -1,0 +1,6 @@
+package attr
+
+import "splitio/internal/cache"
+
+// WindowPages imports upward: attr sits below cache in the layer DAG.
+const WindowPages = cache.PageSize

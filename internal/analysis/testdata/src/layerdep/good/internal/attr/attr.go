@@ -1,0 +1,7 @@
+package attr
+
+import "splitio/internal/fs"
+
+// SpanBytes shows the attributor reading the file system it blames,
+// a legal downward import.
+const SpanBytes = fs.BlockSize

@@ -75,11 +75,13 @@ type Request struct {
 	Req trace.ReqID
 
 	// Queued and Start record when the request entered the block layer and
-	// when dispatch began; Service is the device time consumed. They are
+	// when dispatch began; Service is the device time consumed; QDepth is
+	// the queue depth at submission (including this request). They are
 	// filled by the layer.
 	Queued  sim.Time
 	Start   sim.Time
 	Service time.Duration
+	QDepth  int
 
 	done *sim.Completion
 }
@@ -175,6 +177,7 @@ func (l *Layer) Submit(r *Request) *sim.Completion {
 	r.Queued = l.env.Now()
 	l.stats.Requests++
 	l.depth++
+	r.QDepth = l.depth
 	l.elv.Add(r)
 	if l.hooks != nil {
 		l.hooks.BlockAdded(r)
@@ -196,13 +199,13 @@ func (l *Layer) traceRequest(r *Request, pos, xfer time.Duration) {
 	flags := requestFlags(r)
 	l.tr.Record(trace.Event{
 		Layer: trace.LayerBlock, Op: trace.OpQueue, Label: l.elv.Name(),
-		Req: r.Req, PID: r.Submitter, Causes: r.Causes,
-		Start: r.Queued, End: r.Start,
+		Req: r.Req, PID: r.Submitter, Causes: r.Causes, Prio: r.Prio,
+		Start: r.Queued, End: r.Start, Depth: int64(r.QDepth),
 		Ino: r.FileID, LBA: r.LBA, Blocks: r.Blocks, Flags: flags,
 	})
 	dev := trace.Event{
 		Layer: trace.LayerDevice, Op: trace.OpService, Label: l.disk.Name(),
-		Req: r.Req, PID: r.Submitter, Causes: r.Causes,
+		Req: r.Req, PID: r.Submitter, Causes: r.Causes, Prio: r.Prio,
 		Start: r.Start, End: r.Start.Add(r.Service),
 		Ino: r.FileID, LBA: r.LBA, Blocks: r.Blocks, Flags: flags,
 	}

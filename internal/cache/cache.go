@@ -548,11 +548,12 @@ func (c *Cache) Writeback(p *sim.Proc, ino int64, max int) int {
 		c.wbCtx.Req = c.tr.NextReq()
 		start = c.env.Now()
 	}
+	depth := c.dirtyCount
 	n := c.writeback(p, ino, max)
 	if traced {
 		c.tr.Record(trace.Event{
 			Layer: trace.LayerCache, Op: trace.OpWriteback, Label: "sync",
-			Req: c.wbCtx.Req, PID: c.wbCtx.PID,
+			Req: c.wbCtx.Req, PID: c.wbCtx.PID, Depth: depth,
 			Start: start, End: c.env.Now(), Ino: ino, Blocks: n,
 		})
 	}
@@ -632,11 +633,12 @@ func (c *Cache) flushOne(p *sim.Proc, ino int64) {
 		c.wbCtx.Req = c.tr.NextReq()
 		start = c.env.Now()
 	}
+	depth := c.dirtyCount
 	n := c.writeback(p, ino, c.cfg.WritebackBatch)
 	if traced {
 		c.tr.Record(trace.Event{
 			Layer: trace.LayerCache, Op: trace.OpWriteback, Label: "pdflush",
-			Req: c.wbCtx.Req, PID: c.wbCtx.PID,
+			Req: c.wbCtx.Req, PID: c.wbCtx.PID, Depth: depth,
 			Start: start, End: c.env.Now(), Ino: ino, Blocks: n,
 		})
 	}

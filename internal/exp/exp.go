@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"splitio/internal/attr"
 	"splitio/internal/cache"
 	"splitio/internal/core"
 	"splitio/internal/metrics"
@@ -127,6 +128,7 @@ var All = []Experiment{
 	{"table2", "Split hooks", Table2},
 	{"table3", "Deadline settings", Table3},
 	{"crashsweep", "Crash-consistency sweep (fault plane)", CrashSweep},
+	{"inversion", "Latency attribution and inversion detection", InversionExp},
 }
 
 // ByID returns the experiment with the given ID.
@@ -175,6 +177,21 @@ func newKernel(sched string, o Options, mut func(*core.Options)) *core.Kernel {
 	k := core.NewKernelOn(sim.NewEnv(opts.Seed), opts, factories[sched])
 	if o.Metrics != nil {
 		o.Metrics.Add(fmt.Sprintf("%s#%d", sched, len(o.Metrics.Machines)), k.Metrics)
+		if o.Tracer == nil {
+			// Give -stats per-layer latency attribution: run the span stream
+			// through an online Attribution sink and publish its histograms
+			// in this kernel's registry. A bounded ring keeps trace memory
+			// flat (the sink sees every event regardless of ring drops).
+			// Skipped when the caller shares one -trace tracer across
+			// kernels: that tracer's stream interleaves machines.
+			if !k.Trace.Enabled() {
+				k.Trace.SetRing(8192)
+				k.Trace.Enable()
+			}
+			a := attr.New()
+			k.Trace.Attach(a)
+			a.RegisterMetrics(k.Metrics)
+		}
 	}
 	return k
 }

@@ -190,8 +190,8 @@ func Fig5(o Options) *Table {
 			workload.RandWriteFsync(k, p, pr, fb, 4096, 2<<30, nn)
 		})
 		k.Run(o.dur(40 * time.Second))
-		p99 := a.Fsyncs.Percentile(99)
-		p50 := a.Fsyncs.Percentile(50)
+		qs := a.Fsyncs.Quantiles([]float64{50, 99})
+		p50, p99 := qs[0], qs[1]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d KB", n*4), ms(p50), ms(p99),
 		})

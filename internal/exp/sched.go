@@ -151,13 +151,14 @@ func Fig12(o Options) *Table {
 				workload.RandWriteFsync(k, p, pr, fb, 4096, 2<<30, 1024)
 			})
 			k.Run(o.dur(60 * time.Second))
+			qs := a.Fsyncs.Quantiles([]float64{50, 99})
 			t.Rows = append(t.Rows, []string{
 				string(disk), sched,
-				ms(a.Fsyncs.Percentile(50)), ms(a.Fsyncs.Percentile(99)),
+				ms(qs[0]), ms(qs[1]),
 				ms(a.Fsyncs.Max()), fmt.Sprint(b.Fsyncs.Count()),
 			})
 			t.Metrics[fmt.Sprintf("%s_%s_p99_ms", disk, sched)] =
-				float64(a.Fsyncs.Percentile(99)) / float64(time.Millisecond)
+				float64(qs[1]) / float64(time.Millisecond)
 			k.Env.Close()
 		}
 	}

@@ -630,10 +630,18 @@ func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync
 		}
 	}
 	if f.tr.Enabled() {
+		// Journal-driven flushes (the ordered-mode pass of commit) carry the
+		// committing transaction's id; attribution uses it to tie foreign
+		// data flushes to the fsyncs waiting on that commit.
+		var txnID int64
+		if ctx == f.jctx {
+			txnID = f.flushTxnID
+		}
 		f.tr.Record(trace.Event{
 			Layer: trace.LayerFS, Op: trace.OpFlushData,
-			Req: reqOf(ctx), PID: pidOf(ctx), Causes: union,
+			Req: reqOf(ctx), PID: pidOf(ctx), Causes: union, Prio: prioOf(ctx),
 			Start: flushStart, End: f.env.Now(), Ino: ino, Blocks: len(idxs),
+			Txn: txnID,
 		})
 	}
 	return len(idxs)
@@ -712,12 +720,29 @@ func (f *FS) Fsync(p *sim.Proc, ctx *ioctx.Ctx, file *File) {
 	if mk != nil {
 		upTo = mk.MediaWrites()
 	}
+	var awaited *txn
 	if f.running.has(file.Ino) {
-		t := f.running
-		f.requestCommit(t)
-		t.done.Wait(p)
+		awaited = f.running
+		f.requestCommit(awaited)
 	} else if f.committing != nil && f.committing.has(file.Ino) {
-		f.committing.done.Wait(p)
+		awaited = f.committing
+	}
+	if awaited != nil {
+		waitStart := f.env.Now()
+		awaited.done.Wait(p)
+		if f.tr.Enabled() {
+			// The wait span carries the awaited transaction's cause set —
+			// recorded after the wait, when the set is final — so the journal
+			// entanglement of this fsync (paper Fig 4) is a single span, not
+			// a reconstruction over the commit's fan-out.
+			f.tr.Record(trace.Event{
+				Layer: trace.LayerFS, Op: trace.OpCommitWait,
+				Req: reqOf(ctx), PID: pidOf(ctx), Causes: awaited.tcauses,
+				Prio: prioOf(ctx), Start: waitStart, End: f.env.Now(),
+				Ino: file.Ino, Txn: awaited.id,
+				Flags: trace.FlagSync | trace.FlagJournal,
+			})
+		}
 	}
 	if mk != nil {
 		mk.MarkDurable(file.Ino, upTo)
@@ -745,7 +770,16 @@ func (f *FS) SyncAll(p *sim.Proc, ctx *ioctx.Ctx) {
 	if !f.running.empty() {
 		t := f.running
 		f.requestCommit(t)
+		waitStart := f.env.Now()
 		t.done.Wait(p)
+		if f.tr.Enabled() {
+			f.tr.Record(trace.Event{
+				Layer: trace.LayerFS, Op: trace.OpCommitWait,
+				Req: reqOf(ctx), PID: pidOf(ctx), Causes: t.tcauses,
+				Prio: prioOf(ctx), Start: waitStart, End: f.env.Now(),
+				Txn: t.id, Flags: trace.FlagSync | trace.FlagJournal,
+			})
+		}
 	}
 	if mk != nil {
 		for _, ino := range inos {
@@ -822,6 +856,7 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 				Layer: trace.LayerFS, Op: trace.OpOrderedFlush,
 				Req: t.req, PID: f.jctx.PID, Causes: t.tcauses,
 				Start: depStart, End: f.env.Now(), Ino: ino, Blocks: n,
+				Txn: t.id,
 			})
 		}
 	}
@@ -876,7 +911,7 @@ func (f *FS) commit(p *sim.Proc, t *txn) {
 			Layer: trace.LayerFS, Op: trace.OpTxnCommit, Label: f.cfg.Name,
 			Req: t.req, PID: f.jctx.PID, Causes: t.tcauses,
 			Start: commitStart, End: f.env.Now(), Blocks: int(nblocks) + 1,
-			Flags: trace.FlagJournal | trace.FlagMeta,
+			Txn: t.id, Flags: trace.FlagJournal | trace.FlagMeta,
 		})
 		f.jctx.Req = 0
 	}

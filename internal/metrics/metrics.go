@@ -72,16 +72,21 @@ func (h *Histogram) Reset() {
 	h.n = 0
 }
 
+// ensureSorted sorts the retained samples once; Add clears the flag.
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
 // Percentile returns the p-th percentile (0 < p <= 100) using
 // nearest-rank. It returns 0 when the histogram is empty.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
-	}
+	h.ensureSorted()
 	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
 	if rank < 1 {
 		rank = 1
@@ -90,6 +95,29 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 		rank = len(h.samples)
 	}
 	return h.samples[rank-1]
+}
+
+// Quantiles returns the nearest-rank percentile for each p in ps with a
+// single sort, where a Percentile loop would re-check (and on a histogram
+// interleaved with Add, re-sort) per call. The result is index-aligned
+// with ps; an empty histogram yields all zeros.
+func (h *Histogram) Quantiles(ps []float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(h.samples) == 0 {
+		return out
+	}
+	h.ensureSorted()
+	for i, p := range ps {
+		rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(h.samples) {
+			rank = len(h.samples)
+		}
+		out[i] = h.samples[rank-1]
+	}
+	return out
 }
 
 // Mean returns the arithmetic mean of the samples.
@@ -213,6 +241,20 @@ func (s *Series) Min() float64 {
 	m := s.Points[0].V
 	for _, p := range s.Points[1:] {
 		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Max returns the largest sampled value, or 0 if empty.
+func (s *Series) Max() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].V
+	for _, p := range s.Points[1:] {
+		if p.V > m {
 			m = p.V
 		}
 	}

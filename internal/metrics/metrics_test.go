@@ -161,3 +161,47 @@ func TestDeviationScaleInvariant(t *testing.T) {
 		t.Fatalf("proportional allocation deviation = %v, want 0", d)
 	}
 }
+
+func TestQuantilesMatchPercentile(t *testing.T) {
+	h := &Histogram{}
+	for i := 100; i >= 1; i-- {
+		h.Add(time.Duration(i))
+	}
+	ps := []float64{1, 25, 50, 95, 99, 100}
+	got := h.Quantiles(ps)
+	if len(got) != len(ps) {
+		t.Fatalf("Quantiles returned %d values for %d percentiles", len(got), len(ps))
+	}
+	for i, p := range ps {
+		if want := h.Percentile(p); got[i] != want {
+			t.Errorf("Quantiles[%d] (p%g) = %v, Percentile = %v", i, p, got[i], want)
+		}
+	}
+	if empty := (&Histogram{}).Quantiles(ps); len(empty) != len(ps) {
+		t.Fatalf("empty Quantiles length %d, want %d", len(empty), len(ps))
+	} else {
+		for i, v := range empty {
+			if v != 0 {
+				t.Errorf("empty Quantiles[%d] = %v, want 0", i, v)
+			}
+		}
+	}
+	// Interleaved Add must invalidate the sort, like Percentile.
+	h.Add(1000)
+	if q := h.Quantiles([]float64{100}); q[0] != 1000 {
+		t.Errorf("post-Add p100 = %v, want 1000", q[0])
+	}
+}
+
+func TestSeriesMax(t *testing.T) {
+	var s Series
+	if s.Max() != 0 {
+		t.Fatalf("empty Max = %v, want 0", s.Max())
+	}
+	s.Add(1, -5)
+	s.Add(2, -1)
+	s.Add(3, -3)
+	if s.Max() != -1 {
+		t.Fatalf("Max = %v, want -1 (must not default to 0 on negatives)", s.Max())
+	}
+}

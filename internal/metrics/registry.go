@@ -36,9 +36,11 @@ func (c *RegCounter) Value() float64 { return c.v }
 // Registry is a named set of gauges sampled into time series. It is not
 // safe for concurrent use; the simulation is single-threaded.
 type Registry struct {
-	gauges map[string]Gauge
-	series map[string]*Series
-	names  []string // registration order
+	gauges    map[string]Gauge
+	series    map[string]*Series
+	names     []string // registration order
+	hists     map[string]*Histogram
+	histNames []string // registration order
 }
 
 // NewRegistry returns an empty registry.
@@ -46,6 +48,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		gauges: make(map[string]Gauge),
 		series: make(map[string]*Series),
+		hists:  make(map[string]*Histogram),
 	}
 }
 
@@ -66,6 +69,32 @@ func (r *Registry) Counter(name string) *RegCounter {
 	c := &RegCounter{}
 	r.Gauge(name, c.Value)
 	return c
+}
+
+// AddHistogram registers an existing histogram under name, so a subsystem
+// that owns its histograms (latency attribution) can publish them without
+// copying samples. Duplicate names panic, as with Gauge.
+func (r *Registry) AddHistogram(name string, h *Histogram) {
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("metrics: duplicate histogram %q", name))
+	}
+	r.hists[name] = h
+	r.histNames = append(r.histNames, name)
+}
+
+// Histogram registers and returns a new histogram under name.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := &Histogram{}
+	r.AddHistogram(name, h)
+	return h
+}
+
+// Hist returns the registered histogram for name (nil if unregistered).
+func (r *Registry) Hist(name string) *Histogram { return r.hists[name] }
+
+// HistogramNames returns registered histogram names in registration order.
+func (r *Registry) HistogramNames() []string {
+	return append([]string(nil), r.histNames...)
 }
 
 // Names returns the registered names in registration order.
@@ -97,14 +126,25 @@ func (r *Registry) StartSampler(env *sim.Env, every time.Duration) {
 	})
 }
 
-// WriteText writes a per-gauge summary (samples, min, mean, last) in
-// registration order — the plain-text companion to the sampled series.
+// WriteText writes a per-gauge summary (samples, min, mean, max, last) in
+// registration order — the plain-text companion to the sampled series —
+// followed by a percentile table for any registered histograms.
 func (r *Registry) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "%-28s  %8s  %12s  %12s  %12s\n", "metric", "samples", "min", "mean", "last")
+	fmt.Fprintf(w, "%-28s  %8s  %12s  %12s  %12s  %12s\n", "metric", "samples", "min", "mean", "max", "last")
 	for _, name := range r.names {
 		s := r.series[name]
-		fmt.Fprintf(w, "%-28s  %8d  %12.1f  %12.1f  %12.1f\n",
-			name, len(s.Points), s.Min(), s.Mean(), s.Last())
+		fmt.Fprintf(w, "%-28s  %8d  %12.1f  %12.1f  %12.1f  %12.1f\n",
+			name, len(s.Points), s.Min(), s.Mean(), s.Max(), s.Last())
+	}
+	if len(r.histNames) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-28s  %8s  %12s  %12s  %12s  %12s\n", "histogram", "count", "p50", "p95", "p99", "max")
+	for _, name := range r.histNames {
+		h := r.hists[name]
+		qs := h.Quantiles([]float64{50, 95, 99})
+		fmt.Fprintf(w, "%-28s  %8d  %12v  %12v  %12v  %12v\n",
+			name, h.Count(), qs[0], qs[1], qs[2], h.Max())
 	}
 }
 

@@ -141,3 +141,48 @@ func TestRegistrySampler(t *testing.T) {
 		t.Fatalf("sampler took %d samples over 95ms at 10ms, want 10", len(s.Points))
 	}
 }
+
+func TestRegistryHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat.fsync")
+	h.Add(5 * time.Millisecond)
+	own := &Histogram{}
+	own.Add(time.Millisecond)
+	r.AddHistogram("lat.write", own)
+	if got := r.HistogramNames(); len(got) != 2 || got[0] != "lat.fsync" || got[1] != "lat.write" {
+		t.Fatalf("HistogramNames = %v, want registration order", got)
+	}
+	if r.Hist("lat.write") != own {
+		t.Fatal("Hist returned a different histogram than registered")
+	}
+	if r.Hist("missing") != nil {
+		t.Fatal("Hist on unregistered name should be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddHistogram did not panic")
+		}
+	}()
+	r.AddHistogram("lat.fsync", &Histogram{})
+}
+
+func TestWriteTextIncludesHistogramTable(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if strings.Contains(buf.String(), "histogram") {
+		t.Fatalf("histogram table printed with no histograms:\n%s", buf.String())
+	}
+	h := r.Histogram("lat.fsync")
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	buf.Reset()
+	r.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"histogram", "lat.fsync", "50ms", "95ms", "99ms", "100ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -279,11 +279,15 @@ func (s *Sched) pump() {
 		}
 		w := s.waiters[best]
 		if !s.admissible(w) {
-			// Try the next-best admissible waiter of a different kind so a
-			// blocked fsync does not stall admissible writes forever.
+			// Try the next-best admissible waiter of a different kind — so a
+			// blocked fsync does not stall admissible writes forever — or a
+			// different class: an idle-class waiter held for quiet time must
+			// not block best-effort admission behind its (tiny) pass, or the
+			// idle process would induce exactly the priority inversion the
+			// class exists to prevent.
 			alt := -1
 			for i, x := range s.waiters {
-				if x.kind != w.kind && s.admissible(x) {
+				if (x.kind != w.kind || x.class != w.class) && s.admissible(x) {
 					if alt < 0 || s.st.Pass(int64(x.pid)) < s.st.Pass(int64(s.waiters[alt].pid)) {
 						alt = i
 					}

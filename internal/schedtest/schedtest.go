@@ -9,8 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"splitio/internal/attr"
 	"splitio/internal/cache"
 	"splitio/internal/core"
+	"splitio/internal/metrics"
 	"splitio/internal/fs"
 	"splitio/internal/sim"
 	"splitio/internal/trace"
@@ -146,4 +148,58 @@ func AssertOrderedCommits(t *testing.T, events []trace.Event) (checked int) {
 		}
 	}
 	return checked
+}
+
+// AssertNoInversion fails the test if a detected any inversions of the
+// given kinds (all kinds when none are listed) — the paper's headline
+// claim for split schedulers: isolation without cross-process entanglement.
+func AssertNoInversion(t *testing.T, a *attr.Attribution, kinds ...attr.Kind) {
+	t.Helper()
+	if len(kinds) == 0 {
+		kinds = attr.Kinds()
+	}
+	want := make(map[attr.Kind]bool, len(kinds))
+	total := int64(0)
+	for _, k := range kinds {
+		want[k] = true
+		if n := a.InversionCount(k); n > 0 {
+			t.Errorf("found %d %s inversions (victim time %v), want 0", n, k, a.InversionTime(k))
+			total += n
+		}
+	}
+	if total == 0 {
+		return
+	}
+	// List a few retained records so the failure names victims and culprits.
+	shown := 0
+	for _, inv := range a.Inversions() {
+		if !want[inv.Kind] {
+			continue
+		}
+		t.Logf("  %s: victim=%d culprit=%d layer=%s dur=%v txn=%d req=%d",
+			inv.Kind, inv.Victim, inv.Culprit, inv.Layer, inv.Dur, inv.Txn, inv.Req)
+		if shown++; shown >= 10 {
+			break
+		}
+	}
+}
+
+// AssertLatencyBudget fails the test if any requested quantile of h
+// exceeds its budget. qs and budgets are index-aligned percentiles (e.g.
+// qs={50,99}, budgets={5ms, 100ms}); name labels the failure.
+func AssertLatencyBudget(t *testing.T, name string, h *metrics.Histogram, qs []float64, budgets []time.Duration) {
+	t.Helper()
+	if h == nil {
+		t.Errorf("%s: no histogram (no requests attributed?)", name)
+		return
+	}
+	if len(qs) != len(budgets) {
+		t.Fatalf("%s: %d quantiles but %d budgets", name, len(qs), len(budgets))
+	}
+	got := h.Quantiles(qs)
+	for i, q := range qs {
+		if got[i] > budgets[i] {
+			t.Errorf("%s: p%g latency %v exceeds budget %v", name, q, got[i], budgets[i])
+		}
+	}
 }

@@ -69,6 +69,15 @@ func WriteChrome(w io.Writer, events []Event) error {
 		if ev.Bytes != 0 {
 			fmt.Fprintf(&b, `,"bytes":%d`, ev.Bytes)
 		}
+		if ev.Prio != 0 {
+			fmt.Fprintf(&b, `,"prio":%d`, ev.Prio)
+		}
+		if ev.Depth != 0 {
+			fmt.Fprintf(&b, `,"depth":%d`, ev.Depth)
+		}
+		if ev.Txn != 0 {
+			fmt.Fprintf(&b, `,"txn":%d`, ev.Txn)
+		}
 		if !ev.Causes.Empty() {
 			fmt.Fprintf(&b, `,"causes":%q`, ev.Causes.String())
 		}

@@ -77,6 +77,11 @@ const (
 	OpAlloc        = "alloc"
 	OpOrderedFlush = "ordered-flush"
 	OpTxnCommit    = "txn-commit"
+	// OpCommitWait spans the time an fsync spends blocked on a journal
+	// commit. Its Causes are the awaited transaction's cause set and Txn its
+	// id, so latency attribution can charge the wait to journal entanglement
+	// without reconstructing the commit tree.
+	OpCommitWait = "commit-wait"
 
 	// Block layer.
 	OpQueue = "queue"
@@ -158,6 +163,17 @@ type Event struct {
 	Blocks int
 	// Bytes is the syscall byte count.
 	Bytes int64
+	// Prio is the acting process's I/O priority (0 highest .. 7 lowest;
+	// 0 also for events whose layer carries no priority).
+	Prio int
+	// Depth is a queue-state sample: the block-layer queue depth at
+	// submission for queue spans, the cache's dirty-page count for
+	// writeback spans (0 elsewhere).
+	Depth int64
+	// Txn is the journal transaction the event serves (commit spans,
+	// commit waits, and the ordered-mode data flushes a commit forces;
+	// 0 otherwise).
+	Txn int64
 	Flags Flag
 }
 
@@ -167,6 +183,15 @@ func (e Event) Dur() time.Duration { return e.End.Sub(e.Start) }
 // Instant reports whether the event is a point in time rather than a span.
 func (e Event) Instant() bool { return e.Start == e.End }
 
+// Sink consumes the event stream as it is recorded, in emission order.
+// Sinks run online — attached consumers (latency attribution, inversion
+// detection) see every event even when a ring cap later discards it from
+// the retained buffer. Consume is called synchronously from Record on the
+// simulation's single thread, so sinks need no locking but must not block.
+type Sink interface {
+	Consume(ev Event)
+}
+
 // Tracer records events. The zero value is a valid, permanently disabled
 // tracer. A Tracer is not safe for concurrent use; the simulation is
 // single-threaded, so instrumentation points never race.
@@ -175,6 +200,12 @@ type Tracer struct {
 	nop     bool
 	nextReq uint64
 	events  []Event
+	sinks   []Sink
+	// Ring mode: when ringCap > 0 the events slice is a circular buffer of
+	// that capacity and ringStart indexes its oldest entry.
+	ringCap   int
+	ringStart int
+	total     uint64 // events ever recorded (retained or not)
 }
 
 // Nop is the shared disabled tracer that layers use before a kernel wires a
@@ -213,24 +244,87 @@ func (t *Tracer) NextReq() ReqID {
 	return ReqID(t.nextReq)
 }
 
-// Record appends ev to the event buffer. No-op when disabled.
+// Attach registers a sink that will receive every subsequently recorded
+// event. Sinks are invoked in attachment order.
+func (t *Tracer) Attach(s Sink) {
+	if t.nop {
+		panic("trace: Attach on the shared Nop tracer")
+	}
+	t.sinks = append(t.sinks, s)
+}
+
+// Detach removes a previously attached sink (no-op if absent), so one sink
+// instance can observe exactly one kernel's run on a shared tracer.
+func (t *Tracer) Detach(s Sink) {
+	for i, have := range t.sinks {
+		if have == s {
+			t.sinks = append(t.sinks[:i], t.sinks[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetRing bounds the retained event buffer at capacity events, keeping the
+// most recent ones (the retained suffix of the full stream). capacity <= 0
+// restores retain-all. Attached sinks still see every event, so online
+// attribution is unaffected by the cap. Switching modes mid-run keeps the
+// newest events that fit.
+func (t *Tracer) SetRing(capacity int) {
+	events := t.Events() // linearize before changing geometry
+	if capacity > 0 && len(events) > capacity {
+		events = append([]Event(nil), events[len(events)-capacity:]...)
+	}
+	t.events = events
+	t.ringCap = capacity
+	t.ringStart = 0
+}
+
+// Record appends ev to the event buffer (overwriting the oldest entry in
+// ring mode) and feeds it to attached sinks. No-op when disabled.
 func (t *Tracer) Record(ev Event) {
 	if !t.enabled {
 		return
 	}
-	t.events = append(t.events, ev)
+	t.total++
+	if t.ringCap > 0 && len(t.events) >= t.ringCap {
+		t.events[t.ringStart] = ev
+		t.ringStart = (t.ringStart + 1) % t.ringCap
+	} else {
+		t.events = append(t.events, ev)
+	}
+	for _, s := range t.sinks {
+		s.Consume(ev)
+	}
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (t *Tracer) Len() int { return len(t.events) }
 
-// Events returns the recorded events in emission order. The returned slice
-// is the tracer's own buffer; callers must not modify it.
-func (t *Tracer) Events() []Event { return t.events }
+// Total returns the number of events ever recorded, retained or not.
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Dropped returns how many events a ring cap has discarded.
+func (t *Tracer) Dropped() uint64 { return t.total - uint64(len(t.events)) }
+
+// Events returns the retained events in emission order. In retain-all mode
+// the returned slice is the tracer's own buffer; in ring mode it is a fresh
+// copy with the circular order unrolled. Callers must not modify it.
+func (t *Tracer) Events() []Event {
+	if t.ringCap <= 0 || t.ringStart == 0 {
+		return t.events
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.ringStart:]...)
+	return append(out, t.events[:t.ringStart]...)
+}
 
 // Reset drops all recorded events (the request-ID counter keeps running, so
 // IDs stay unique across resets).
-func (t *Tracer) Reset() { t.events = t.events[:0] }
+func (t *Tracer) Reset() {
+	t.events = t.events[:0]
+	t.ringStart = 0
+	t.total = 0
+}
 
 // ByReq groups events by request ID, dropping untracked (ID 0) events. Each
 // group preserves emission order.

@@ -188,3 +188,89 @@ func TestLayerAndFlagStrings(t *testing.T) {
 		t.Errorf("zero flags = %q, want -", s)
 	}
 }
+
+// collectSink retains every event it is handed.
+type collectSink struct {
+	evs []Event
+}
+
+func (c *collectSink) Consume(ev Event) { c.evs = append(c.evs, ev) }
+
+func TestSinkSeesEveryEventIncludingRingDrops(t *testing.T) {
+	tr := New()
+	tr.SetRing(4)
+	tr.Enable()
+	s := &collectSink{}
+	tr.Attach(s)
+	for i := int64(0); i < 10; i++ {
+		tr.Record(span(LayerBlock, OpQueue, ReqID(i+1), i, i+1))
+	}
+	if len(s.evs) != 10 {
+		t.Fatalf("sink saw %d events, want all 10", len(s.evs))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring retained %d events, want 4", tr.Len())
+	}
+	if tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("Total=%d Dropped=%d, want 10 and 6", tr.Total(), tr.Dropped())
+	}
+	// Events() must linearize the ring: oldest retained first.
+	evs := tr.Events()
+	for i, ev := range evs {
+		if want := ReqID(7 + i); ev.Req != want {
+			t.Fatalf("events[%d].Req = %d, want %d", i, ev.Req, want)
+		}
+	}
+	tr.Detach(s)
+	tr.Record(span(LayerBlock, OpQueue, 99, 20, 21))
+	if len(s.evs) != 10 {
+		t.Fatalf("detached sink still consumed events (saw %d)", len(s.evs))
+	}
+}
+
+func TestSetRingTrimsExistingToNewest(t *testing.T) {
+	tr := New()
+	tr.Enable()
+	for i := int64(0); i < 8; i++ {
+		tr.Record(span(LayerBlock, OpQueue, ReqID(i+1), i, i+1))
+	}
+	tr.SetRing(3)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("SetRing kept %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if want := ReqID(6 + i); ev.Req != want {
+			t.Fatalf("events[%d].Req = %d, want %d (newest suffix)", i, ev.Req, want)
+		}
+	}
+	if tr.Total() != 8 {
+		t.Fatalf("Total = %d, want 8 (SetRing must not forget history count)", tr.Total())
+	}
+}
+
+func TestAttachNopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Attach on Nop did not panic")
+		}
+	}()
+	Nop.Attach(&collectSink{})
+}
+
+func TestResetClearsRingState(t *testing.T) {
+	tr := New()
+	tr.SetRing(2)
+	tr.Enable()
+	for i := int64(0); i < 5; i++ {
+		tr.Record(span(LayerBlock, OpQueue, ReqID(i+1), i, i+1))
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("Reset left Len=%d Total=%d Dropped=%d", tr.Len(), tr.Total(), tr.Dropped())
+	}
+	tr.Record(span(LayerBlock, OpQueue, 42, 9, 10))
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Req != 42 {
+		t.Fatalf("post-Reset ring broken: %v", evs)
+	}
+}

@@ -118,7 +118,7 @@ func (v *VFS) beginSyscall(p *sim.Proc, c *ioctx.Ctx) sim.Time {
 func (v *VFS) endSyscall(p *sim.Proc, c *ioctx.Ctx, op string, start sim.Time, ino, bytes int64, flags trace.Flag) {
 	v.tr.Record(trace.Event{
 		Layer: trace.LayerSyscall, Op: op,
-		Req: c.Req, PID: c.PID, Causes: c.Causes(),
+		Req: c.Req, PID: c.PID, Causes: c.Causes(), Prio: c.Prio,
 		Start: start, End: p.Now(), Ino: ino, Bytes: bytes, Flags: flags,
 	})
 }
@@ -247,6 +247,7 @@ func (v *VFS) Read(p *sim.Proc, pr *Process, f *fs.File, off, n int64) {
 		v.tr.Record(trace.Event{
 			Layer: trace.LayerSyscall, Op: trace.OpRead, Label: label,
 			Req: pr.Ctx.Req, PID: pr.Ctx.PID, Causes: pr.Ctx.Causes(),
+			Prio: pr.Ctx.Prio,
 			Start: t0, End: p.Now(), Ino: f.Ino, Bytes: n, Flags: trace.FlagRead,
 		})
 	}
@@ -273,6 +274,7 @@ func (v *VFS) Write(p *sim.Proc, pr *Process, f *fs.File, off, n int64) {
 			v.tr.Record(trace.Event{
 				Layer: trace.LayerCache, Op: trace.OpThrottle,
 				Req: pr.Ctx.Req, PID: pr.Ctx.PID, Causes: pr.Ctx.Causes(),
+				Prio: pr.Ctx.Prio,
 				Start: th0, End: p.Now(), Ino: f.Ino, Flags: trace.FlagWrite,
 			})
 		}

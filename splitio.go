@@ -216,6 +216,10 @@ func (p *Process) WriteMBps() float64 {
 // MBps returns total throughput in MiB/s.
 func (p *Process) MBps() float64 { return p.ReadMBps() + p.WriteMBps() }
 
+// PID returns the process's simulated PID (user processes count up from
+// 100; lower PIDs are kernel tasks).
+func (p *Process) PID() int { return int(p.pr.Ctx.PID) }
+
 // BytesRead and BytesWritten return totals since the last reset.
 func (p *Process) BytesRead() int64    { return p.pr.BytesRead.Total() }
 func (p *Process) BytesWritten() int64 { return p.pr.BytesWritten.Total() }

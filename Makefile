@@ -1,15 +1,21 @@
 # Tier-1 verification plus static and race checks.
 #
-#   make check       vet + lint + build + tests + race + crash-consistency smoke + report
+#   make check       vet + lint + build + tests + race + fuzz corpora + crash-consistency smoke + report
 #   make lint        splitlint determinism-contract analyzers (see DESIGN.md)
 #   make crashsweep  fault-injected crash sweep; fails on any invariant violation
 #   make report      latency-attribution report; fails on split-scheduler inversions
+#   make fuzz        checked-in fuzz corpora in regression mode (no exploration)
+#   make cover       coverage profile + HTML; fails if total drops below coverage-baseline.txt
+#
+# NPROC controls -j for the splitbench sweeps (cells fan across a worker
+# pool; output is byte-identical at any -j, so parallelism is free).
 
 GO ?= go
+NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: check build test vet race bench lint crashsweep report
+.PHONY: check build test vet race bench lint fuzz cover crashsweep report
 
-check: vet lint build test race crashsweep report
+check: vet lint build test race fuzz crashsweep report
 
 lint:
 	$(GO) run ./cmd/splitlint
@@ -29,11 +35,26 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+# Replays the checked-in seed corpora (testdata/fuzz/...) without fuzzing:
+# a pure regression gate that keeps every once-interesting input passing.
+# Exploration stays manual: go test -fuzz=FuzzWorkloadParse ./internal/workload
+fuzz:
+	$(GO) test -run '^Fuzz' ./internal/workload ./internal/attr
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -html=coverage.out -o coverage.html
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	base=$$(cat coverage-baseline.txt); \
+	echo "coverage: $$total% (baseline $$base%)"; \
+	awk -v t="$$total" -v b="$$base" 'BEGIN { exit (t+0 < b+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below the $$base% baseline" >&2; exit 1; }
+
 crashsweep:
-	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 crashsweep
+	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) crashsweep
 
 # Runs the entangled antagonist workload under noop/cfq/afq, writes the
 # blame-table report (the CI artifact), and exits nonzero if any split
 # scheduler shows a priority inversion.
 report:
-	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 report -format json -o report.json
+	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) report -format json -o report.json

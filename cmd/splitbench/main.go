@@ -2,13 +2,24 @@
 //
 // Usage:
 //
-//	splitbench [-scale F] [-seed N] [-trace FILE] [-stats] [experiment ...]
+//	splitbench [-scale F] [-seed N] [-seeds A..B] [-j N] [-cache] [-trace FILE] [-stats] [experiment ...]
 //
 // With no arguments it runs every experiment (fig1..fig21, table1..table3,
 // plus extensions such as crashsweep) in paper order. Scale < 1 shortens
 // measurement windows proportionally.
 //
 //	splitbench -scale 0.2 fig12 fig13
+//
+// The evaluation matrix is embarrassingly parallel at the host level: every
+// cell of an experiment (one scheduler × file system × disk × seed point)
+// is its own deterministic simulation. -j N fans those cells across N
+// worker goroutines (0 = one per CPU); results always merge in canonical
+// cell order, so the output is byte-identical at any -j. -cache keeps a
+// content-addressed result cache in .splitbench-cache/ so unchanged cells
+// are skipped on re-runs, and -seeds A..B runs each experiment once per
+// seed of the inclusive range:
+//
+//	splitbench -scale 0.1 -j 8 -cache -seeds 1..8 crashsweep
 //
 // The crashsweep experiment fault-injects every scheduler on both file
 // systems and disks, sweeps crash images over each run's persistence log,
@@ -21,6 +32,8 @@
 // https://ui.perfetto.dev); a per-request latency breakdown and summary are
 // printed to stderr. -stats prints each simulated machine's metric registry
 // after the run, including per-layer latency histograms from attribution.
+// Both observe every kernel of the run, so they force cells inline (-j is
+// ignored for the experiments' simulation cells).
 //
 // The report subcommand runs the entangled antagonist workload under a set
 // of schedulers and renders per-process latency blame tables plus detected
@@ -36,12 +49,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"splitio/internal/exp"
+	"splitio/internal/sweep"
 	"splitio/internal/trace"
 )
+
+// maxSeedRange bounds -seeds so a typo ("1..1000000") fails fast instead of
+// scheduling a million runs.
+const maxSeedRange = 4096
 
 // resolve maps experiment IDs to experiments, defaulting to all of them. An
 // unknown ID yields an error naming the offending experiment.
@@ -60,15 +79,48 @@ func resolve(ids []string) ([]exp.Experiment, error) {
 	return out, nil
 }
 
+// parseSeeds parses a -seeds value: "A..B" (inclusive range) or a single
+// seed "N". The empty string yields nil (use -seed).
+func parseSeeds(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	lo, hi, found := strings.Cut(s, "..")
+	a, err := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -seeds %q: %v", s, err)
+	}
+	b := a
+	if found {
+		if b, err = strconv.ParseInt(strings.TrimSpace(hi), 10, 64); err != nil {
+			return nil, fmt.Errorf("bad -seeds %q: %v", s, err)
+		}
+	}
+	if b < a {
+		return nil, fmt.Errorf("bad -seeds %q: end %d before start %d", s, b, a)
+	}
+	if b-a+1 > maxSeedRange {
+		return nil, fmt.Errorf("bad -seeds %q: range of %d seeds exceeds the %d cap", s, b-a+1, maxSeedRange)
+	}
+	out := make([]int64, 0, b-a+1)
+	for v := a; v <= b; v++ {
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "measurement-window scale factor")
 	seed := flag.Int64("seed", 1, "deterministic random seed")
+	seeds := flag.String("seeds", "", "seed range `A..B` (inclusive); runs each experiment once per seed, overriding -seed")
+	jobs := flag.Int("j", 1, "parallel sweep workers for independent simulation cells (0 = one per CPU)")
+	cacheOn := flag.Bool("cache", false, "cache cell results in "+sweep.DefaultCacheDir+"/ and skip unchanged cells")
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to `FILE`")
 	stats := flag.Bool("stats", false, "print per-machine metric registries after the run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: splitbench [-scale F] [-seed N] [-trace FILE] [-stats] [experiment ...]\n")
-		fmt.Fprintf(os.Stderr, "       splitbench [-scale F] [-seed N] report [-format text|json] [-o FILE] [-diff OLD NEW]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: splitbench [-scale F] [-seed N] [-seeds A..B] [-j N] [-cache] [-trace FILE] [-stats] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "       splitbench [-scale F] [-seed N] [-j N] report [-format text|json] [-o FILE] [-diff OLD NEW]\n\nexperiments:\n")
 		for _, e := range exp.All {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
 		}
@@ -82,11 +134,33 @@ func main() {
 		return
 	}
 
-	if args := flag.Args(); len(args) > 0 && args[0] == "report" {
-		os.Exit(runReport(*scale, *seed, args[1:], os.Stdout, os.Stderr))
+	runner := &sweep.Runner{Workers: *jobs}
+	if *cacheOn {
+		c, err := sweep.Open(sweep.DefaultCacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+			os.Exit(1)
+		}
+		runner.Cache = c
 	}
 
-	opts := exp.Options{Scale: *scale, Seed: *seed}
+	if args := flag.Args(); len(args) > 0 && args[0] == "report" {
+		opts := exp.Options{Scale: *scale, Seed: *seed, Runner: runner}
+		code := runReport(opts, args[1:], os.Stdout, os.Stderr)
+		sweepSummary(runner)
+		os.Exit(code)
+	}
+
+	seedList, err := parseSeeds(*seeds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+		os.Exit(2)
+	}
+	if seedList == nil {
+		seedList = []int64{*seed}
+	}
+
+	opts := exp.Options{Scale: *scale, Seed: *seed, Runner: runner}
 	var traceOut *os.File
 	if *traceFile != "" {
 		// Open up front so a bad path fails before the run, not after it.
@@ -108,21 +182,27 @@ func main() {
 		os.Exit(2)
 	}
 	failed := false
-	for _, e := range exps {
-		// Host-side timing allowlist: this measures how long the benchmark
-		// driver itself took on the host, printed alongside results; it
-		// never feeds back into the simulation (see DESIGN.md,
-		// "Determinism contract").
-		start := time.Now() //splitlint:ignore simclock host-side wall time for the progress banner, never enters the simulation
-		tab := e.Run(opts)
-		printTable(tab, time.Since(start)) //splitlint:ignore simclock host-side wall time for the progress banner, never enters the simulation
-		// Checking experiments (crashsweep) report invariant violations via
-		// this metric; a nonzero count fails the run so `make crashsweep`
-		// gates CI.
-		if tab.Metrics["violations_total"] > 0 {
-			fmt.Fprintf(os.Stderr, "splitbench: %s reported %.0f invariant violations\n",
-				tab.ID, tab.Metrics["violations_total"])
-			failed = true
+	for _, sd := range seedList {
+		opts.Seed = sd
+		if len(seedList) > 1 {
+			fmt.Printf("\n######## seed %d ########\n", sd)
+		}
+		for _, e := range exps {
+			// Host-side timing allowlist: this measures how long the benchmark
+			// driver itself took on the host, printed alongside results; it
+			// never feeds back into the simulation (see DESIGN.md,
+			// "Determinism contract").
+			start := time.Now() //splitlint:ignore simclock host-side wall time for the progress banner, never enters the simulation
+			tab := e.Run(opts)
+			printTable(tab, time.Since(start)) //splitlint:ignore simclock host-side wall time for the progress banner, never enters the simulation
+			// Checking experiments (crashsweep) report invariant violations via
+			// this metric; a nonzero count fails the run so `make crashsweep`
+			// gates CI.
+			if tab.Metrics["violations_total"] > 0 {
+				fmt.Fprintf(os.Stderr, "splitbench: %s reported %.0f invariant violations\n",
+					tab.ID, tab.Metrics["violations_total"])
+				failed = true
+			}
 		}
 	}
 
@@ -142,9 +222,28 @@ func main() {
 			m.Registry.WriteText(os.Stdout)
 		}
 	}
+	sweepSummary(runner)
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// sweepSummary reports cell totals on stderr (stdout stays byte-identical
+// across -j and -cache settings).
+func sweepSummary(r *sweep.Runner) {
+	cells, cached, errs := r.Stats()
+	if cells == 0 {
+		return
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = 0 // printed as "auto"
+	}
+	w := "auto"
+	if workers > 0 {
+		w = fmt.Sprint(workers)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells (%d cached, %d failed) across %s workers\n", cells, cached, errs, w)
 }
 
 func writeTrace(f *os.File, tr *trace.Tracer) error {

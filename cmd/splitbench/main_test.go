@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"splitio/internal/exp"
+	"splitio/internal/sweep"
 )
 
 func TestResolveDefaultsToAll(t *testing.T) {
@@ -43,7 +45,7 @@ func TestResolveUnknownIDNamesOffender(t *testing.T) {
 
 func TestReportUnknownFormatIsUsageError(t *testing.T) {
 	var out, errb bytes.Buffer
-	code := runReport(0.2, 1, []string{"-format", "yaml"}, &out, &errb)
+	code := runReport(exp.Options{Scale: 0.2, Seed: 1}, []string{"-format", "yaml"}, &out, &errb)
 	if code != 2 {
 		t.Fatalf("exit code = %d, want 2 (usage error)", code)
 	}
@@ -60,7 +62,7 @@ func TestReportUnknownFormatIsUsageError(t *testing.T) {
 func TestReportGoldenDeterministic(t *testing.T) {
 	run := func() ([]byte, int) {
 		var out, errb bytes.Buffer
-		code := runReport(0.2, 1, []string{"-format", "json", "-schedulers", "cfq,afq"}, &out, &errb)
+		code := runReport(exp.Options{Scale: 0.2, Seed: 1}, []string{"-format", "json", "-schedulers", "cfq,afq"}, &out, &errb)
 		if code == 2 {
 			t.Fatalf("usage error: %s", errb.String())
 		}
@@ -84,14 +86,90 @@ func TestReportDiffSmoke(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "r.json")
 	var errb bytes.Buffer
-	if code := runReport(0.2, 1, []string{"-format", "json", "-o", path, "-schedulers", "cfq"}, io.Discard, &errb); code != 0 {
+	if code := runReport(exp.Options{Scale: 0.2, Seed: 1}, []string{"-format", "json", "-o", path, "-schedulers", "cfq"}, io.Discard, &errb); code != 0 {
 		t.Fatalf("report run exited %d: %s", code, errb.String())
 	}
 	var out bytes.Buffer
-	if code := runReport(0.2, 1, []string{"-diff", path, path}, &out, &errb); code != 0 {
+	if code := runReport(exp.Options{Scale: 0.2, Seed: 1}, []string{"-diff", path, path}, &out, &errb); code != 0 {
 		t.Fatalf("diff exited %d: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "cfq") {
 		t.Fatalf("diff output missing scheduler section:\n%s", out.String())
+	}
+}
+
+// TestSeedsParsing pins the -seeds grammar: single seed, inclusive range,
+// rejection of reversed and oversized ranges.
+func TestSeedsParsing(t *testing.T) {
+	got, err := parseSeeds("3..6")
+	if err != nil || len(got) != 4 || got[0] != 3 || got[3] != 6 {
+		t.Fatalf("parseSeeds(3..6) = %v, %v", got, err)
+	}
+	got, err = parseSeeds("7")
+	if err != nil || len(got) != 1 || got[0] != 7 {
+		t.Fatalf("parseSeeds(7) = %v, %v", got, err)
+	}
+	if got, err = parseSeeds(""); err != nil || got != nil {
+		t.Fatalf("parseSeeds(\"\") = %v, %v, want nil, nil", got, err)
+	}
+	for _, bad := range []string{"9..2", "a..b", "1..", "1..999999999", "1..x"} {
+		if _, err := parseSeeds(bad); err == nil {
+			t.Errorf("parseSeeds(%q) accepted", bad)
+		}
+	}
+}
+
+// TestReportDiffMalformedArchive: handing -diff a file that is not a report
+// archive must exit 2 (usage error) and print the expected schema, for both
+// a malformed and an empty file.
+func TestReportDiffMalformedArchive(t *testing.T) {
+	dir := t.TempDir()
+	malformed := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(malformed, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// {} parses as JSON but is not a report archive.
+	hollow := filepath.Join(dir, "hollow.json")
+	if err := os.WriteFile(hollow, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{malformed, empty, hollow} {
+		var out, errb bytes.Buffer
+		code := runReport(exp.Options{Scale: 0.2, Seed: 1}, []string{"-diff", path, path}, &out, &errb)
+		if code != 2 {
+			t.Errorf("%s: -diff exited %d, want 2\nstderr: %s", path, code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "schedulers") || !strings.Contains(errb.String(), "-format json") {
+			t.Errorf("%s: stderr lacks the expected-schema hint:\n%s", path, errb.String())
+		}
+		if !strings.Contains(errb.String(), filepath.Base(path)) {
+			t.Errorf("%s: stderr does not name the offending file:\n%s", path, errb.String())
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s: diff error still wrote output:\n%s", path, out.String())
+		}
+	}
+}
+
+// TestReportParallelMatchesSerial: the report subcommand's JSON must be
+// byte-identical whether scheduler cells run serially or fanned across
+// eight workers.
+func TestReportParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) []byte {
+		var out, errb bytes.Buffer
+		opts := exp.Options{Scale: 0.2, Seed: 1, Runner: &sweep.Runner{Workers: workers}}
+		if code := runReport(opts, []string{"-format", "json", "-schedulers", "cfq,afq"}, &out, &errb); code != 0 {
+			t.Fatalf("report (-j %d) exited %d: %s", workers, code, errb.String())
+		}
+		return out.Bytes()
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("-j 1 and -j 8 reports differ (%d vs %d bytes)", len(serial), len(parallel))
 	}
 }

@@ -26,10 +26,26 @@ var splitSchedulers = map[string]bool{
 	"split-token":    true,
 }
 
+// reportSchemaHint is printed when -diff is handed a file that is not a
+// report archive, so the user learns what shape is expected and where such
+// files come from.
+const reportSchemaHint = `splitbench report: a report archive is the JSON written by 'splitbench report -format json [-o FILE]':
+  {
+    "seed": 1,
+    "scale": 1,
+    "workload": "...",
+    "schedulers": [
+      {"scheduler": "cfq", "requests": N,
+       "groups": [{"pid": P, "op": "fsync", "count": N, "p50_ns": ..., ...}],
+       "inversion_counts": [{"kind": "txn-commit", "count": N, "total_ns": ...}]}
+    ]
+  }
+`
+
 // runReport implements `splitbench report`. It returns the process exit
 // code: 0 on success, 1 when a split scheduler shows inversions, 2 on
 // usage errors.
-func runReport(scale float64, seed int64, args []string, stdout, stderr io.Writer) int {
+func runReport(opts exp.Options, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	format := fs.String("format", "text", "output format: text or json")
@@ -56,12 +72,14 @@ func runReport(scale float64, seed int64, args []string, stdout, stderr io.Write
 		}
 		old, err := readReportFile(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintf(stderr, "splitbench report: %v\n", err)
+			fmt.Fprintf(stderr, "splitbench report: %s: %v\n", fs.Arg(0), err)
+			fmt.Fprint(stderr, reportSchemaHint)
 			return 2
 		}
 		cur, err := readReportFile(fs.Arg(1))
 		if err != nil {
-			fmt.Fprintf(stderr, "splitbench report: %v\n", err)
+			fmt.Fprintf(stderr, "splitbench report: %s: %v\n", fs.Arg(1), err)
+			fmt.Fprint(stderr, reportSchemaHint)
 			return 2
 		}
 		attr.WriteDiff(stdout, old, cur)
@@ -76,7 +94,7 @@ func runReport(scale float64, seed int64, args []string, stdout, stderr io.Write
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
-	rep := exp.BuildReport(exp.Options{Scale: scale, Seed: seed}, names)
+	rep := exp.BuildReport(opts, names)
 
 	w := stdout
 	if *out != "" {

@@ -1,0 +1,39 @@
+package attr
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReportDiff pins the `splitbench report -diff` ingestion path: any
+// byte stream handed to ReadReport either yields a usable *Report — one
+// that WriteDiff and WriteText can render without panicking — or an error.
+// The checked-in corpus under testdata/fuzz/FuzzReportDiff runs on every
+// plain `go test` as a regression suite.
+func FuzzReportDiff(f *testing.F) {
+	f.Add([]byte(`{"seed":1,"scale":1,"workload":"w","schedulers":[]}`))
+	f.Add([]byte(`{"workload":"w","schedulers":[{"scheduler":"cfq","requests":3,` +
+		`"groups":[{"pid":1,"op":"read","count":3,"p99_ns":100}],` +
+		`"inversion_counts":[{"kind":"txn-commit","count":1,"total_ns":50}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"schedulers":[{"scheduler":"a"},{"scheduler":"a"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := ReadReport(bytes.NewReader(data))
+		if err != nil {
+			if rep != nil {
+				t.Fatalf("ReadReport returned both a report and error %v", err)
+			}
+			return
+		}
+		if rep.Workload == "" && len(rep.Schedulers) == 0 {
+			t.Fatal("ReadReport accepted a document with no identifying fields")
+		}
+		// Anything accepted must survive both render paths and a self-diff.
+		rep.WriteText(io.Discard)
+		WriteDiff(io.Discard, rep, rep)
+	})
+}

@@ -173,12 +173,18 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// ReadReport parses a JSON report written by WriteJSON.
+// ReadReport parses a JSON report written by WriteJSON. A document that
+// decodes but carries none of a report's identifying fields (an empty
+// object, or unrelated JSON whose fields all go unmatched) is rejected:
+// silently diffing such a husk would report every scheduler as vanished.
 func ReadReport(r io.Reader) (*Report, error) {
 	var rep Report
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&rep); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("not a report archive: %w", err)
+	}
+	if rep.Workload == "" && len(rep.Schedulers) == 0 {
+		return nil, fmt.Errorf("not a report archive: missing workload and schedulers fields")
 	}
 	return &rep, nil
 }

@@ -8,9 +8,29 @@ import (
 	"splitio/internal/fs"
 	"splitio/internal/sched/stoken"
 	"splitio/internal/sim"
+	"splitio/internal/sweep"
 	"splitio/internal/vfs"
 	"splitio/internal/workload"
 )
+
+// ablPair dispatches an on/off ablation as two sweep cells (one kernel
+// each) and returns their scalar results as (on, off).
+func ablPair(o Options, experiment, knob string, run func(on bool) float64) (on, off float64) {
+	type scalar struct {
+		V float64 `json:"v"`
+	}
+	cells := []sweep.Cell{
+		{Key: o.cellKey(experiment, knob+"=on"), Run: jsonCell(func() any { return scalar{run(true)} })},
+		{Key: o.cellKey(experiment, knob+"=off"), Run: jsonCell(func() any { return scalar{run(false)} })},
+	}
+	var vals [2]float64
+	o.runCells(cells, func(i int, data []byte) {
+		var s scalar
+		mustUnmarshal(data, &s)
+		vals[i] = s.V
+	})
+	return vals[0], vals[1]
+}
 
 // AblPromptCharge quantifies the value of memory-level prompt charging in
 // Split-Token: without it, a throttled process's opening burst is admitted
@@ -33,8 +53,7 @@ func AblPromptCharge(o Options) *Table {
 		k.Run(o.dur(2 * time.Second))
 		return float64(bp.BytesWritten.Total()) / (1 << 20)
 	}
-	with := burstMB(true)
-	without := burstMB(false)
+	with, without := ablPair(o, "abl-prompt", "prompt", func(on bool) float64 { return burstMB(on) })
 	t := &Table{
 		ID:     "abl-prompt",
 		Title:  "Ablation: memory-level prompt charging (Split-Token burst containment)",
@@ -69,8 +88,7 @@ func AblXFSFull(o Options) *Table {
 		k.Run(d)
 		return float64(bp.Fsyncs.Count()) / d.Seconds()
 	}
-	partial := rate(false)
-	full := rate(true)
+	full, partial := ablPair(o, "abl-xfsfull", "full", rate)
 	t := &Table{
 		ID:     "abl-xfsfull",
 		Title:  "Ablation: XFS partial vs full split integration (metadata antagonist)",
@@ -90,24 +108,42 @@ func AblXFSFull(o Options) *Table {
 // garbage, so Split-Token keeps a neighbor isolated even though the tenant
 // itself issues almost no direct disk I/O.
 func AblCOWGC(o Options) *Table {
-	fcfg := fs.COWConfig()
-	fcfg.GCThresholdBlocks = 32 // cleaner engages quickly at bench scale
-	k := newKernel("split-token", o, func(opt *core.Options) { opt.FSConfig = &fcfg })
-	defer k.Env.Close()
-	k.Sched.(*stoken.Sched).SetLimit("b", 2<<20, 2<<20)
-	fa := k.FS.MkFileContiguous("/a", 4<<30)
-	a := k.Spawn("A", 4, func(p *sim.Proc, pr *vfs.Process) {
-		workload.SeqReader(k, p, pr, fa, 1<<20)
-	})
-	// The churn file preexists (setup is not billed); every overwrite then
-	// remaps and leaves garbage behind.
-	fb := k.FS.MkFileContiguous("/churn", 64<<20)
-	b := k.Spawn("B", 4, func(p *sim.Proc, pr *vfs.Process) {
-		pr.Ctx.Account = "b"
-		workload.RandWriteFsync(k, p, pr, fb, 4096, 64<<20, 8)
-	})
-	k.Run(o.dur(5 * time.Second))
-	tps := measure(k, o.dur(30*time.Second), a, b)
+	type cowCell struct {
+		AMbps   float64 `json:"a_mbps"`
+		BMbps   float64 `json:"b_mbps"`
+		Garbage int64   `json:"garbage"`
+		Reloc   int64   `json:"reloc"`
+	}
+	cells := []sweep.Cell{{
+		Key: o.cellKey("abl-cowgc", "sched=split-token fs=cow"),
+		Run: jsonCell(func() any {
+			fcfg := fs.COWConfig()
+			fcfg.GCThresholdBlocks = 32 // cleaner engages quickly at bench scale
+			k := newKernel("split-token", o, func(opt *core.Options) { opt.FSConfig = &fcfg })
+			defer k.Env.Close()
+			k.Sched.(*stoken.Sched).SetLimit("b", 2<<20, 2<<20)
+			fa := k.FS.MkFileContiguous("/a", 4<<30)
+			a := k.Spawn("A", 4, func(p *sim.Proc, pr *vfs.Process) {
+				workload.SeqReader(k, p, pr, fa, 1<<20)
+			})
+			// The churn file preexists (setup is not billed); every overwrite
+			// then remaps and leaves garbage behind.
+			fb := k.FS.MkFileContiguous("/churn", 64<<20)
+			b := k.Spawn("B", 4, func(p *sim.Proc, pr *vfs.Process) {
+				pr.Ctx.Account = "b"
+				workload.RandWriteFsync(k, p, pr, fb, 4096, 64<<20, 8)
+			})
+			k.Run(o.dur(5 * time.Second))
+			tps := measure(k, o.dur(30*time.Second), a, b)
+			return cowCell{
+				AMbps: tps[0], BMbps: tps[1],
+				Garbage: k.FS.GarbageBlocks(), Reloc: k.FS.GCRelocatedBlocks(),
+			}
+		}),
+	}}
+	var c cowCell
+	o.runCells(cells, func(_ int, data []byte) { mustUnmarshal(data, &c) })
+	tps := []float64{c.AMbps, c.BMbps}
 	t := &Table{
 		ID:     "abl-cowgc",
 		Title:  "Ablation: copy-on-write GC as an I/O proxy (Split-Token on cowsim)",
@@ -117,12 +153,12 @@ func AblCOWGC(o Options) *Table {
 			{"B (churn, 2 MB/s cap)", fmt.Sprintf("%.3f", tps[1]), "billed for data, commits, and relocation"},
 		},
 		Notes: fmt.Sprintf("garbage=%d blocks, GC relocated=%d blocks; relocation I/O carries B's cause tag",
-			k.FS.GarbageBlocks(), k.FS.GCRelocatedBlocks()),
+			c.Garbage, c.Reloc),
 		Metrics: map[string]float64{
 			"a_mbps":         tps[0],
 			"b_mbps":         tps[1],
-			"gc_relocated":   float64(k.FS.GCRelocatedBlocks()),
-			"garbage_blocks": float64(k.FS.GarbageBlocks()),
+			"gc_relocated":   float64(c.Reloc),
+			"garbage_blocks": float64(c.Garbage),
 		},
 	}
 	return t

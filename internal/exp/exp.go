@@ -23,6 +23,7 @@ import (
 	"splitio/internal/sched/sdeadline"
 	"splitio/internal/sched/stoken"
 	"splitio/internal/sim"
+	"splitio/internal/sweep"
 	"splitio/internal/trace"
 	"splitio/internal/vfs"
 )
@@ -60,6 +61,13 @@ type Options struct {
 	// Metrics, when non-nil, collects each kernel's gauge registry so the
 	// caller can print per-machine stats after the run (splitbench -stats).
 	Metrics *StatsCollector
+	// Runner, when non-nil, fans an experiment's independent simulation
+	// cells across a host-side worker pool (splitbench -j) with optional
+	// result caching (splitbench -cache). Nil runs cells inline. Output is
+	// byte-identical either way: results always merge in canonical cell
+	// order. Ignored (forced inline) when Tracer or Metrics is set, since
+	// those observe every kernel of the run.
+	Runner *sweep.Runner
 }
 
 // StatsCollector gathers the metrics registries of every kernel an

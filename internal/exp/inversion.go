@@ -17,6 +17,7 @@ import (
 	"splitio/internal/block"
 	"splitio/internal/core"
 	"splitio/internal/sim"
+	"splitio/internal/sweep"
 	"splitio/internal/trace"
 	"splitio/internal/vfs"
 	"splitio/internal/workload"
@@ -74,6 +75,8 @@ var splitSchedulers = map[string]bool{
 
 // BuildReport runs the entangled workload under each scheduler and
 // assembles the full attribution report (the `splitbench report` payload).
+// Scheduler runs are independent machines, so they dispatch through
+// Options.Runner; sections merge in the order schedulers were requested.
 func BuildReport(o Options, schedulers []string) *attr.Report {
 	seed := o.Seed
 	if seed == 0 {
@@ -84,10 +87,21 @@ func BuildReport(o Options, schedulers []string) *attr.Report {
 		scale = 1
 	}
 	rep := &attr.Report{Seed: seed, Scale: scale, Workload: inversionWorkload}
-	for _, sched := range schedulers {
-		at := runEntangled(sched, o)
-		rep.Schedulers = append(rep.Schedulers, at.Summary(sched))
+	cells := make([]sweep.Cell, len(schedulers))
+	for i, sched := range schedulers {
+		sched := sched
+		cells[i] = sweep.Cell{
+			Key: o.cellKey("report", "sched="+sched),
+			Run: jsonCell(func() any {
+				return runEntangled(sched, o).Summary(sched)
+			}),
+		}
 	}
+	o.runCells(cells, func(i int, data []byte) {
+		var sr attr.SchedReport
+		mustUnmarshal(data, &sr)
+		rep.Schedulers = append(rep.Schedulers, sr)
+	})
 	return rep
 }
 
@@ -105,27 +119,56 @@ func InversionExp(o Options) *Table {
 			"violations_total": 0,
 		},
 	}
-	for _, sched := range []string{"noop", "cfq", "afq"} {
-		at := runEntangled(sched, o)
+	// One cell per scheduler: counts by kind, in attr.Kinds() order.
+	type invCell struct {
+		Requests int64   `json:"requests"`
+		Counts   []int64 `json:"counts"`
+		DurNS    []int64 `json:"dur_ns"`
+	}
+	scheds := []string{"noop", "cfq", "afq"}
+	cells := make([]sweep.Cell, len(scheds))
+	for i, sched := range scheds {
+		sched := sched
+		cells[i] = sweep.Cell{
+			Key: o.cellKey("inversion", "sched="+sched),
+			Run: jsonCell(func() any {
+				at := runEntangled(sched, o)
+				c := invCell{Requests: at.Requests()}
+				for _, k := range attr.Kinds() {
+					c.Counts = append(c.Counts, at.InversionCount(k))
+					c.DurNS = append(c.DurNS, int64(at.InversionTime(k)))
+				}
+				return c
+			}),
+		}
+	}
+	kindIdx := map[attr.Kind]int{}
+	for i, k := range attr.Kinds() {
+		kindIdx[k] = i
+	}
+	o.runCells(cells, func(i int, data []byte) {
+		var c invCell
+		mustUnmarshal(data, &c)
+		sched := scheds[i]
 		var victim time.Duration
 		var total int64
-		for _, k := range attr.Kinds() {
-			victim += at.InversionTime(k)
-			total += at.InversionCount(k)
+		for ki := range attr.Kinds() {
+			victim += time.Duration(c.DurNS[ki])
+			total += c.Counts[ki]
 		}
 		t.Rows = append(t.Rows, []string{
 			sched,
-			fmt.Sprintf("%d", at.Requests()),
-			fmt.Sprintf("%d", at.InversionCount(attr.KindTxnCommit)),
-			fmt.Sprintf("%d", at.InversionCount(attr.KindOrderedFlush)),
-			fmt.Sprintf("%d", at.InversionCount(attr.KindWriteback)),
+			fmt.Sprintf("%d", c.Requests),
+			fmt.Sprintf("%d", c.Counts[kindIdx[attr.KindTxnCommit]]),
+			fmt.Sprintf("%d", c.Counts[kindIdx[attr.KindOrderedFlush]]),
+			fmt.Sprintf("%d", c.Counts[kindIdx[attr.KindWriteback]]),
 			victim.Round(time.Millisecond).String(),
 		})
 		t.Metrics[sched+"_inversions"] = float64(total)
 		if splitSchedulers[sched] {
 			t.Metrics["violations_total"] += float64(total)
 		}
-	}
+	})
 	t.Notes = "Inversions: intervals where a request's critical path ran through another process's work.\n" +
 		"Block-level scheduling entangles the appender's commits with the idle writer's data;\n" +
 		"split scheduling (AFQ) holds the writer at the memory level, so none occur."

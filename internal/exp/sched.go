@@ -7,6 +7,7 @@ import (
 	"splitio/internal/core"
 	"splitio/internal/metrics"
 	"splitio/internal/sim"
+	"splitio/internal/sweep"
 	"splitio/internal/vfs"
 	"splitio/internal/workload"
 )
@@ -64,48 +65,73 @@ func Fig11(o Options) *Table {
 		}, time.Second, 5 * time.Second},
 	}
 	prios := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	// Each (panel, scheduler) pair is its own machine: fan the 8 pairs
+	// through the sweep runner and merge rows in panel-major order.
+	type fig11Cell struct {
+		PerPrio []float64 `json:"per_prio"`
+		Total   float64   `json:"total"`
+		Dev     float64   `json:"dev"`
+	}
+	type cellID struct {
+		panel panel
+		sched string
+	}
+	var ids []cellID
+	var cells []sweep.Cell
 	for _, pn := range panels {
 		for _, sched := range []string{"cfq", "afq"} {
-			k := newKernel(sched, o, nil)
-			var groups [][]*vfs.Process
-			for _, prio := range prios {
-				var g []*vfs.Process
-				for j := 0; j < pn.perPrio; j++ {
-					g = append(g, pn.spawn(k, prio, j))
-				}
-				groups = append(groups, g)
-			}
-			k.Run(o.dur(pn.warm))
-			var all []*vfs.Process
-			for _, g := range groups {
-				all = append(all, g...)
-			}
-			tps := measure(k, o.dur(pn.run), all...)
-			perPrio := make([]float64, len(prios))
-			idx := 0
-			var total float64
-			for gi := range groups {
-				for range groups[gi] {
-					perPrio[gi] += tps[idx]
-					total += tps[idx]
-					idx++
-				}
-			}
-			ideal := make([]float64, len(prios))
-			for i, p := range prios {
-				ideal[i] = float64(8 - p)
-			}
-			dev := metrics.DeviationFromIdeal(perPrio, ideal)
-			row := []string{pn.name, sched, joinMBps(perPrio), fmt.Sprintf("%.0f%%", dev*100), mbps(total)}
-			if pn.name == "mem-overwrite" {
-				row[3] = "n/a" // no disk contention, no fairness goal
-			}
-			t.Rows = append(t.Rows, row)
-			t.Metrics[fmt.Sprintf("%s_%s_deviation", pn.name, sched)] = dev
-			t.Metrics[fmt.Sprintf("%s_%s_total_mbps", pn.name, sched)] = total
-			k.Env.Close()
+			pn, sched := pn, sched
+			ids = append(ids, cellID{pn, sched})
+			cells = append(cells, sweep.Cell{
+				Key: o.cellKey("fig11", fmt.Sprintf("panel=%s sched=%s", pn.name, sched)),
+				Run: jsonCell(func() any {
+					k := newKernel(sched, o, nil)
+					defer k.Env.Close()
+					var groups [][]*vfs.Process
+					for _, prio := range prios {
+						var g []*vfs.Process
+						for j := 0; j < pn.perPrio; j++ {
+							g = append(g, pn.spawn(k, prio, j))
+						}
+						groups = append(groups, g)
+					}
+					k.Run(o.dur(pn.warm))
+					var all []*vfs.Process
+					for _, g := range groups {
+						all = append(all, g...)
+					}
+					tps := measure(k, o.dur(pn.run), all...)
+					c := fig11Cell{PerPrio: make([]float64, len(prios))}
+					idx := 0
+					for gi := range groups {
+						for range groups[gi] {
+							c.PerPrio[gi] += tps[idx]
+							c.Total += tps[idx]
+							idx++
+						}
+					}
+					ideal := make([]float64, len(prios))
+					for i, p := range prios {
+						ideal[i] = float64(8 - p)
+					}
+					c.Dev = metrics.DeviationFromIdeal(c.PerPrio, ideal)
+					return c
+				}),
+			})
 		}
 	}
+	o.runCells(cells, func(i int, data []byte) {
+		var c fig11Cell
+		mustUnmarshal(data, &c)
+		pn, sched := ids[i].panel, ids[i].sched
+		row := []string{pn.name, sched, joinMBps(c.PerPrio), fmt.Sprintf("%.0f%%", c.Dev*100), mbps(c.Total)}
+		if pn.name == "mem-overwrite" {
+			row[3] = "n/a" // no disk contention, no fairness goal
+		}
+		t.Rows = append(t.Rows, row)
+		t.Metrics[fmt.Sprintf("%s_%s_deviation", pn.name, sched)] = c.Dev
+		t.Metrics[fmt.Sprintf("%s_%s_total_mbps", pn.name, sched)] = c.Total
+	})
 	t.Notes = "Paper: CFQ deviates 82% (async write) and 86% (sync write) from the ideal; AFQ 16% and 3%."
 	return t
 }

@@ -1,0 +1,48 @@
+package workload
+
+import "testing"
+
+// FuzzWorkloadParse pins Parse's no-panic contract: any input, however
+// hostile, either parses into a Spec whose fields honor the documented
+// invariants or returns an error — it never panics. The checked-in corpus
+// under testdata/fuzz/FuzzWorkloadParse runs on every plain `go test` as a
+// regression suite; `go test -fuzz=FuzzWorkloadParse` explores further.
+func FuzzWorkloadParse(f *testing.F) {
+	f.Add("seqwrite name=a prio=2 file=/a bytes=2M chunk=64K fsync=end")
+	f.Add("creator dir=/meta count=20 pause=10ms")
+	f.Add("# comment only\n\n; and another\n")
+	f.Add("randread file=/f chunk=1k size=1G\nseqread file=/g")
+	f.Add("seqread file=/f bytes=9223372036854775807")
+	f.Add("mystery key=value")
+	f.Add("seqread file=/f bytes=-5G chunk=0 prio=99")
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := Parse(text)
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("Parse returned both a spec and error %v", err)
+			}
+			return
+		}
+		if len(spec.Procs) == 0 {
+			t.Fatal("Parse succeeded with zero processes")
+		}
+		for _, p := range spec.Procs {
+			if !procKinds[p.Kind] && p.Kind != "creator" {
+				t.Fatalf("accepted unknown kind %q", p.Kind)
+			}
+			if p.Prio < 0 || p.Prio > 7 {
+				t.Fatalf("accepted prio %d outside 0..7", p.Prio)
+			}
+			if p.Chunk <= 0 || p.Bytes < 0 || p.Size < p.Chunk || p.Count < 0 || p.Pause < 0 {
+				t.Fatalf("accepted out-of-range numbers: %+v", p)
+			}
+			if p.Kind == "creator" {
+				if p.Dir == "" {
+					t.Fatalf("accepted creator without dir: %+v", p)
+				}
+			} else if p.File == "" {
+				t.Fatalf("accepted %s without file: %+v", p.Kind, p)
+			}
+		}
+	})
+}

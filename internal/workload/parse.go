@@ -1,0 +1,330 @@
+// Workload config parsing: a small line-oriented DSL that names a mix of
+// the package's generators, so sweeps and property suites can define
+// workloads as data instead of code. One process per line:
+//
+//	# comment                        (# and ; start comments, blanks skipped)
+//	seqwrite  name=a prio=2 file=/a bytes=2M chunk=64K fsync=end
+//	randwrite name=b prio=6 file=/b bytes=1M chunk=16K size=8M
+//	seqread   name=c prio=0 file=/c bytes=2M chunk=128K
+//	fsyncappend name=d prio=4 file=/log bytes=256K chunk=4K
+//	creator   name=e prio=4 dir=/meta count=20 pause=10ms
+//
+// bytes=0 (the default for the read/write kinds) means "loop forever" —
+// the process behaves like the package-level generators and runs until the
+// measured window kills it. A nonzero bytes makes the process finite: it
+// performs exactly that much I/O (then an fsync, when fsync=end) and
+// exits, which is what lets property tests assert that every submitted
+// request completes.
+//
+// Parse never panics on any input; malformed configs only return errors.
+// That contract is pinned by FuzzWorkloadParse.
+
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"splitio/internal/cache"
+	"splitio/internal/core"
+	"splitio/internal/sim"
+	"splitio/internal/vfs"
+)
+
+// ProcSpec is one parsed workload process.
+type ProcSpec struct {
+	// Kind is one of seqread, randread, seqwrite, randwrite, fsyncappend,
+	// creator.
+	Kind string
+	// Name labels the spawned process (defaults to "<kind><line#>").
+	Name string
+	// Prio is the I/O priority, 0 (highest) .. 7 (lowest). Default 4.
+	Prio int
+	// File is the file operated on (all kinds except creator).
+	File string
+	// Dir is the directory creator populates.
+	Dir string
+	// Chunk is the per-call I/O size in bytes. Default 64 KiB.
+	Chunk int64
+	// Bytes is the total amount of I/O; 0 = loop forever.
+	Bytes int64
+	// Size is the file's preallocated size (defaults to Bytes, or 8 MiB
+	// for forever-looping processes).
+	Size int64
+	// Count is how many files creator makes; 0 = forever.
+	Count int64
+	// FsyncEnd makes a finite writer fsync once after its last write.
+	FsyncEnd bool
+	// Pause is creator's inter-operation sleep.
+	Pause time.Duration
+}
+
+// Spec is a parsed workload config.
+type Spec struct {
+	Procs []ProcSpec
+}
+
+// procKinds is the accepted kind set; the bool marks kinds that need file=.
+var procKinds = map[string]bool{
+	"seqread": true, "randread": true, "seqwrite": true,
+	"randwrite": true, "fsyncappend": true, "creator": false,
+}
+
+// Parse parses a workload config. It returns an error (never panics) on
+// malformed input; the error names the offending line.
+func Parse(text string) (*Spec, error) {
+	spec := &Spec{}
+	names := map[string]int{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		ps, err := parseProc(fields)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo+1, err)
+		}
+		if ps.Name == "" {
+			ps.Name = fmt.Sprintf("%s%d", ps.Kind, lineNo+1)
+		}
+		if prev, dup := names[ps.Name]; dup {
+			return nil, fmt.Errorf("workload: line %d: duplicate process name %q (first on line %d)", lineNo+1, ps.Name, prev)
+		}
+		names[ps.Name] = lineNo + 1
+		spec.Procs = append(spec.Procs, ps)
+	}
+	if len(spec.Procs) == 0 {
+		return nil, fmt.Errorf("workload: config defines no processes")
+	}
+	return spec, nil
+}
+
+// parseProc parses one "kind key=value..." line.
+func parseProc(fields []string) (ProcSpec, error) {
+	ps := ProcSpec{Kind: fields[0], Prio: 4, Chunk: 64 << 10}
+	needFile, known := procKinds[ps.Kind]
+	if !known {
+		return ps, fmt.Errorf("unknown kind %q (want seqread, randread, seqwrite, randwrite, fsyncappend, or creator)", ps.Kind)
+	}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			// Bare flags: fsync is accepted as shorthand for fsync=end.
+			if f == "fsync" {
+				ps.FsyncEnd = true
+				continue
+			}
+			return ps, fmt.Errorf("malformed field %q (want key=value)", f)
+		}
+		var err error
+		switch key {
+		case "name":
+			if val == "" {
+				return ps, fmt.Errorf("empty name")
+			}
+			ps.Name = val
+		case "prio":
+			ps.Prio, err = strconv.Atoi(val)
+			if err == nil && (ps.Prio < 0 || ps.Prio > 7) {
+				err = fmt.Errorf("prio %d out of range 0..7", ps.Prio)
+			}
+		case "file":
+			ps.File = val
+		case "dir":
+			ps.Dir = val
+		case "chunk":
+			ps.Chunk, err = parseBytes(val)
+			if err == nil && ps.Chunk <= 0 {
+				err = fmt.Errorf("chunk must be positive, got %d", ps.Chunk)
+			}
+		case "bytes":
+			ps.Bytes, err = parseBytes(val)
+		case "size":
+			ps.Size, err = parseBytes(val)
+		case "count":
+			ps.Count, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && ps.Count < 0 {
+				err = fmt.Errorf("count must be >= 0, got %d", ps.Count)
+			}
+		case "fsync":
+			switch val {
+			case "end":
+				ps.FsyncEnd = true
+			case "no", "none":
+				ps.FsyncEnd = false
+			default:
+				err = fmt.Errorf("fsync=%q (want end or no)", val)
+			}
+		case "pause":
+			ps.Pause, err = time.ParseDuration(val)
+			if err == nil && ps.Pause < 0 {
+				err = fmt.Errorf("pause must be >= 0, got %v", ps.Pause)
+			}
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return ps, fmt.Errorf("%s: %v", key, err)
+		}
+	}
+	if ps.Bytes < 0 {
+		return ps, fmt.Errorf("bytes must be >= 0, got %d", ps.Bytes)
+	}
+	if ps.Size < 0 {
+		return ps, fmt.Errorf("size must be >= 0, got %d", ps.Size)
+	}
+	if needFile && ps.File == "" {
+		return ps, fmt.Errorf("%s needs file=", ps.Kind)
+	}
+	if ps.Kind == "creator" {
+		if ps.Dir == "" {
+			return ps, fmt.Errorf("creator needs dir=")
+		}
+	} else if ps.Dir != "" {
+		return ps, fmt.Errorf("dir= only applies to creator")
+	}
+	if ps.Size == 0 {
+		ps.Size = ps.Bytes
+		if ps.Size == 0 {
+			ps.Size = 8 << 20 // forever loops wrap within a default 8 MiB file
+		}
+	}
+	if ps.Size < ps.Chunk {
+		ps.Size = ps.Chunk
+	}
+	if ps.Size < cache.PageSize {
+		ps.Size = cache.PageSize
+	}
+	return ps, nil
+}
+
+// parseBytes parses a byte count with an optional binary suffix K, M, or G
+// (case-insensitive). Overflow is an error, not a wraparound.
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty byte count")
+	}
+	shift := 0
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		shift, s = 10, s[:len(s)-1]
+	case 'm', 'M':
+		shift, s = 20, s[:len(s)-1]
+	case 'g', 'G':
+		shift, s = 30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	if shift > 0 && (n > (1<<63-1)>>shift || n < -(1<<63-1)>>shift) {
+		return 0, fmt.Errorf("byte count %q overflows", s)
+	}
+	return n << shift, nil
+}
+
+// Spawn materializes the spec on kernel k: files are preallocated
+// contiguously (so runs are comparable across schedulers) and one process
+// is spawned per ProcSpec, in spec order. It returns the processes in the
+// same order.
+func (s *Spec) Spawn(k *core.Kernel) []*vfs.Process {
+	procs := make([]*vfs.Process, 0, len(s.Procs))
+	for i := range s.Procs {
+		procs = append(procs, spawnProc(k, s.Procs[i]))
+	}
+	return procs
+}
+
+// spawnProc spawns one spec'd process.
+func spawnProc(k *core.Kernel, ps ProcSpec) *vfs.Process {
+	if ps.Kind == "creator" {
+		return k.Spawn(ps.Name, ps.Prio, func(p *sim.Proc, pr *vfs.Process) {
+			if ps.Count <= 0 {
+				Creator(k, p, pr, ps.Dir, ps.Pause)
+				return
+			}
+			for i := int64(0); i < ps.Count; i++ {
+				path := fmt.Sprintf("%s/%s%d", ps.Dir, ps.Name, i)
+				f, err := k.VFS.Create(p, pr, path)
+				if err != nil {
+					continue
+				}
+				k.VFS.Fsync(p, pr, f)
+				if ps.Pause > 0 {
+					p.Sleep(ps.Pause)
+				}
+			}
+		})
+	}
+	f := k.FS.MkFileContiguous(ps.File, ps.Size)
+	return k.Spawn(ps.Name, ps.Prio, func(p *sim.Proc, pr *vfs.Process) {
+		if ps.Bytes == 0 {
+			// Forever mode: defer to the package generators.
+			switch ps.Kind {
+			case "seqread":
+				SeqReader(k, p, pr, f, ps.Chunk)
+			case "randread":
+				RandReader(k, p, pr, f, ps.Chunk)
+			case "seqwrite":
+				SeqWriter(k, p, pr, f, ps.Chunk, ps.Size)
+			case "randwrite":
+				RandWriter(k, p, pr, f, ps.Chunk, ps.Size)
+			case "fsyncappend":
+				FsyncAppender(k, p, pr, f, ps.Chunk)
+			}
+			return
+		}
+		// Finite mode: exactly ps.Bytes of I/O, then an optional fsync.
+		rng := k.Env.Rand()
+		pages := ps.Size / cache.PageSize
+		if pages <= 0 {
+			pages = 1
+		}
+		var off, done int64
+		for done < ps.Bytes {
+			n := ps.Chunk
+			if done+n > ps.Bytes {
+				n = ps.Bytes - done
+			}
+			switch ps.Kind {
+			case "seqread":
+				if off+n > f.Size() {
+					off = 0
+				}
+				k.VFS.Read(p, pr, f, off, n)
+				off += n
+			case "randread":
+				ro := rng.Int63n(pages) * cache.PageSize
+				if ro+n > f.Size() {
+					ro = 0
+				}
+				k.VFS.Read(p, pr, f, ro, n)
+			case "seqwrite":
+				if off+n > ps.Size {
+					off = 0
+				}
+				k.VFS.Write(p, pr, f, off, n)
+				off += n
+			case "randwrite":
+				k.VFS.Write(p, pr, f, rng.Int63n(pages)*cache.PageSize, n)
+			case "fsyncappend":
+				if off+n > ps.Size {
+					off = 0
+				}
+				k.VFS.Write(p, pr, f, off, n)
+				k.VFS.Fsync(p, pr, f)
+				off += n
+			}
+			done += n
+		}
+		if ps.FsyncEnd {
+			k.VFS.Fsync(p, pr, f)
+		}
+	})
+}

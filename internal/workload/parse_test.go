@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseValidConfig(t *testing.T) {
+	spec, err := Parse(`
+# antagonist mix
+seqwrite  name=a prio=2 file=/a bytes=2M chunk=64K fsync=end
+randread  name=b prio=6 file=/b chunk=16K size=4M   ; forever reader
+creator   name=c dir=/meta count=3 pause=5ms
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(spec.Procs) != 3 {
+		t.Fatalf("got %d procs, want 3", len(spec.Procs))
+	}
+	a := spec.Procs[0]
+	if a.Kind != "seqwrite" || a.Prio != 2 || a.Bytes != 2<<20 || a.Chunk != 64<<10 || !a.FsyncEnd {
+		t.Errorf("proc a parsed wrong: %+v", a)
+	}
+	if a.Size != 2<<20 {
+		t.Errorf("a.Size = %d, want bytes default %d", a.Size, 2<<20)
+	}
+	b := spec.Procs[1]
+	if b.Bytes != 0 || b.Size != 4<<20 || b.Chunk != 16<<10 {
+		t.Errorf("proc b parsed wrong: %+v", b)
+	}
+	c := spec.Procs[2]
+	if c.Dir != "/meta" || c.Count != 3 || c.Pause != 5*time.Millisecond {
+		t.Errorf("proc c parsed wrong: %+v", c)
+	}
+}
+
+func TestParseDefaultsAndSizes(t *testing.T) {
+	spec, err := Parse("seqread file=/f")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	p := spec.Procs[0]
+	if p.Prio != 4 || p.Chunk != 64<<10 || p.Bytes != 0 {
+		t.Errorf("defaults wrong: %+v", p)
+	}
+	if p.Size != 8<<20 {
+		t.Errorf("forever-loop size = %d, want 8 MiB default", p.Size)
+	}
+	if p.Name != "seqread1" {
+		t.Errorf("default name = %q, want seqread1", p.Name)
+	}
+
+	// Size is clamped up to the chunk so a single call fits in the file.
+	spec, err = Parse("seqwrite file=/f bytes=4K chunk=128K")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := spec.Procs[0].Size; got != 128<<10 {
+		t.Errorf("clamped size = %d, want 128K", got)
+	}
+}
+
+func TestParseByteSuffixes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0}, {"4096", 4096}, {"4k", 4 << 10}, {"4K", 4 << 10},
+		{"2m", 2 << 20}, {"3G", 3 << 30},
+	} {
+		got, err := parseBytes(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "K", "1.5M", "99999999999G", "0x10", "-"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"empty", "", "no processes"},
+		{"comments only", "# just\n; comments\n", "no processes"},
+		{"unknown kind", "mystery file=/f", "unknown kind"},
+		{"unknown key", "seqread file=/f turbo=1", "unknown key"},
+		{"bare field", "seqread file=/f loud", "key=value"},
+		{"missing file", "seqread bytes=1M", "needs file="},
+		{"missing dir", "creator count=1", "needs dir="},
+		{"dir on reader", "seqread file=/f dir=/d", "only applies to creator"},
+		{"bad prio", "seqread file=/f prio=9", "out of range"},
+		{"bad bytes", "seqread file=/f bytes=lots", "bad byte count"},
+		{"overflow", "seqread file=/f bytes=9999999999G", "overflows"},
+		{"negative bytes", "seqread file=/f bytes=-1", "bytes must be >= 0"},
+		{"zero chunk", "seqread file=/f chunk=0", "chunk must be positive"},
+		{"bad pause", "creator dir=/d pause=fast", "pause"},
+		{"negative pause", "creator dir=/d pause=-1s", "pause must be >= 0"},
+		{"bad fsync", "seqwrite file=/f fsync=maybe", "fsync"},
+		{"empty name", "seqread file=/f name=", "empty name"},
+		{"dup name", "seqread name=x file=/f\nrandread name=x file=/g", "duplicate process name"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.in)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.in, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) error = %q, want substring %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSpawnFiniteCompletes pins the finite-mode contract: a bytes=N process
+// performs exactly N bytes of I/O and exits within the run window.
+func TestSpawnFiniteCompletes(t *testing.T) {
+	k := newKernel(t)
+	spec, err := Parse(`
+seqwrite  name=w file=/w bytes=1M chunk=64K fsync=end
+seqread   name=r file=/r bytes=1M chunk=64K
+randwrite name=rw file=/rw bytes=512K chunk=16K size=2M
+fsyncappend name=fa file=/fa bytes=128K chunk=32K
+randread  name=rr file=/rr bytes=256K chunk=4K size=1M
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	procs := spec.Spawn(k)
+	k.Run(30 * time.Second)
+	w, r, rw, fa, rr := procs[0], procs[1], procs[2], procs[3], procs[4]
+	if got := w.BytesWritten.Total(); got != 1<<20 {
+		t.Errorf("w wrote %d bytes, want exactly 1M", got)
+	}
+	if w.Fsyncs.Count() != 1 {
+		t.Errorf("w fsyncs = %d, want 1 (fsync=end)", w.Fsyncs.Count())
+	}
+	if got := r.BytesRead.Total(); got != 1<<20 {
+		t.Errorf("r read %d bytes, want exactly 1M", got)
+	}
+	if got := rw.BytesWritten.Total(); got != 512<<10 {
+		t.Errorf("rw wrote %d bytes, want exactly 512K", got)
+	}
+	if got := fa.BytesWritten.Total(); got != 128<<10 {
+		t.Errorf("fa wrote %d bytes, want exactly 128K", got)
+	}
+	if got, want := int64(fa.Fsyncs.Count()), int64(128>>5); got != want {
+		t.Errorf("fa fsyncs = %d, want %d (one per chunk)", got, want)
+	}
+	if got := rr.BytesRead.Total(); got != 256<<10 {
+		t.Errorf("rr read %d bytes, want exactly 256K", got)
+	}
+}
+
+func TestSpawnForeverKeepsRunning(t *testing.T) {
+	k := newKernel(t)
+	spec, err := Parse("seqread name=r file=/f chunk=1M size=8M")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	procs := spec.Spawn(k)
+	k.Run(2 * time.Second)
+	if procs[0].BytesRead.Total() <= 8<<20 {
+		t.Errorf("forever reader read only %d bytes; expected it to wrap", procs[0].BytesRead.Total())
+	}
+}
+
+func TestSpawnCreatorFiniteAndForever(t *testing.T) {
+	k := newKernel(t)
+	spec, err := Parse("creator name=c dir=/meta count=4 pause=1ms")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	procs := spec.Spawn(k)
+	k.Run(10 * time.Second)
+	if got := procs[0].Fsyncs.Count(); got != 4 {
+		t.Errorf("creator fsyncs = %d, want 4 (one per file)", got)
+	}
+
+	k2 := newKernel(t)
+	spec2, err := Parse("creator name=c dir=/meta")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	procs2 := spec2.Spawn(k2)
+	k2.Run(2 * time.Second)
+	if procs2[0].Fsyncs.Count() == 0 {
+		t.Error("forever creator made no files")
+	}
+}

@@ -6,6 +6,8 @@
 #   make report      latency-attribution report; fails on split-scheduler inversions
 #   make fuzz        checked-in fuzz corpora in regression mode (no exploration)
 #   make cover       coverage profile + HTML; fails if total drops below coverage-baseline.txt
+#   make bench       splitbench bench -quick, gated against BENCH_baseline.json (see DESIGN.md)
+#   make microbench  testing.B microbenchmarks for the DES/cache/perf hot paths
 #
 # NPROC controls -j for the splitbench sweeps (cells fan across a worker
 # pool; output is byte-identical at any -j, so parallelism is free).
@@ -13,7 +15,7 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: check build test vet race bench lint fuzz cover crashsweep report
+.PHONY: check build test vet race bench microbench lint fuzz cover crashsweep report
 
 check: vet lint build test race fuzz crashsweep report
 
@@ -32,8 +34,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Self-profiling run: the fixed benchmark matrix at -quick scale, archived
+# to BENCH_ci.json and diffed against the committed baseline. The tolerance
+# is deliberately generous (fail only on >2x regressions) because archives
+# cross hosts; refresh the baseline with:
+#   go run ./cmd/splitbench -j N bench -quick -o BENCH_baseline.json
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/splitbench -j $(NPROC) bench -quick -o BENCH_ci.json -diff BENCH_baseline.json -tolerance 2
+
+microbench:
+	$(GO) test -bench=. -benchtime=1000x -run '^$$' ./internal/sim ./internal/cache ./internal/perf
 
 # Replays the checked-in seed corpora (testdata/fuzz/...) without fuzzing:
 # a pure regression gate that keeps every once-interesting input passing.

@@ -1,0 +1,226 @@
+// The `splitbench bench` subcommand: the simulator profiling itself. It
+// runs a fixed benchmark matrix — the raw event-loop microbench plus three
+// representative experiments — with the internal/perf counters enabled,
+// and writes a schema-versioned BENCH_<date>.json archive: events/sec,
+// allocs/event, per-layer host-CPU attribution, wall time per entry, host
+// fingerprint. Archives committed over time are the performance trajectory
+// ROADMAP's DES-speedup item is graded against; -diff compares the fresh
+// measurement against an archived baseline and exits nonzero past the
+// tolerance, which is how CI gates perf regressions.
+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"splitio/internal/exp"
+	"splitio/internal/perf"
+	"splitio/internal/sim"
+	"splitio/internal/sweep"
+)
+
+// benchSchemaHint is printed when -diff is handed a file that is not a
+// bench archive.
+const benchSchemaHint = `splitbench bench: a bench archive is the JSON written by 'splitbench bench [-o FILE]':
+  {
+    "schema": 1, "date": "YYYY-MM-DD", "quick": true,
+    "host": {"go": "...", "os": "...", "arch": "...", "cpus": N, "workers": N},
+    "entries": [{"name": "fig11", "wall_ns": ..., "events": ..., "events_per_sec": ...,
+                 "allocs_per_event": ..., "buckets": [...]}]
+  }
+`
+
+// benchEntry is one matrix entry: a name and a driver that performs the
+// entry's simulation work (measurement brackets it outside).
+type benchEntry struct {
+	name string
+	run  func(quick bool, runner *sweep.Runner)
+}
+
+// eventLoopN is the raw event-loop microbench budget (events).
+const (
+	eventLoopN      = int64(2_000_000)
+	eventLoopNQuick = int64(200_000)
+	benchScale      = 0.2
+	benchScaleQuick = 0.05
+)
+
+// benchMatrix is the fixed matrix: the bare DES kernel ceiling, a
+// single-machine figure, the multi-scheduler inversion report workload, and
+// a fault-injected crash sweep — together they cover every layer bucket.
+// The matrix is fixed (scale and seed included) so entries are comparable
+// across archives; -scale and -seed do not apply here.
+func benchMatrix() []benchEntry {
+	expEntry := func(id string) benchEntry {
+		e, ok := exp.ByID(id)
+		if !ok {
+			panic("bench matrix references unknown experiment " + id)
+		}
+		return benchEntry{name: id, run: func(quick bool, runner *sweep.Runner) {
+			scale := benchScale
+			if quick {
+				scale = benchScaleQuick
+			}
+			e.Run(exp.Options{Scale: scale, Seed: 1, Runner: runner})
+		}}
+	}
+	return []benchEntry{
+		{name: "eventloop", run: func(quick bool, _ *sweep.Runner) {
+			n := eventLoopN
+			if quick {
+				n = eventLoopNQuick
+			}
+			perf.EventLoopBench(n)
+		}},
+		expEntry("fig11"),
+		expEntry("inversion"),
+		expEntry("crashsweep"),
+	}
+}
+
+// runBench implements `splitbench bench`. It returns the process exit
+// code: 0 on success, 1 when -diff finds regressions beyond tolerance,
+// 2 on usage or I/O errors.
+func runBench(jobs int, progress bool, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "reduced-scale matrix for CI (archives marked quick are only comparable to other quick archives)")
+	out := fs.String("o", "", "write the JSON archive to `FILE` (default BENCH_<date>.json; \"\" after an explicit -o skips the file)")
+	outSet := false
+	diffOld := fs.String("diff", "", "compare the fresh measurement against archived `BASELINE` and exit 1 past -tolerance")
+	tol := fs.Float64("tolerance", 2.0, "regression gate: fail when events/sec falls (or allocs/event grows) by more than this factor")
+	only := fs.String("only", "", "comma-separated subset of matrix entries to run (e.g. eventloop,fig11)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: splitbench [-j N] bench [-quick] [-o FILE] [-only LIST] [-diff BASELINE [-tolerance F]]\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "matrix entries:")
+		for _, e := range benchMatrix() {
+			fmt.Fprintf(stderr, " %s", e.name)
+		}
+		fmt.Fprintln(stderr)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			outSet = true
+		}
+	})
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "splitbench bench: unexpected arguments %q\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	matrix := benchMatrix()
+	if *only != "" {
+		byName := map[string]benchEntry{}
+		for _, e := range matrix {
+			byName[e.name] = e
+		}
+		matrix = matrix[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			e, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "splitbench bench: unknown matrix entry %q\n", name)
+				return 2
+			}
+			matrix = append(matrix, e)
+		}
+	}
+
+	// Read the baseline before measuring so a bad path fails fast.
+	var baseline *perf.Archive
+	if *diffOld != "" {
+		var err error
+		if baseline, err = readBenchFile(*diffOld); err != nil {
+			fmt.Fprintf(stderr, "splitbench bench: %s: %v\n", *diffOld, err)
+			fmt.Fprint(stderr, benchSchemaHint)
+			return 2
+		}
+	}
+
+	a := measureBench(matrix, *quick, jobs, progress, stderr)
+
+	a.WriteText(stdout)
+	path := *out
+	if !outSet {
+		path = "BENCH_" + a.Date + ".json"
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "splitbench bench: %v\n", err)
+			return 2
+		}
+		err = a.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "splitbench bench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "bench: archive -> %s\n", path)
+	}
+
+	if baseline != nil {
+		regs := perf.Diff(baseline, a, *tol)
+		perf.WriteDiff(stdout, baseline, a, *tol, regs)
+		if len(regs) > 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// measureBench runs the matrix with profiling enabled, bracketing each
+// entry with a perf snapshot. Every entry gets a fresh uncached runner so
+// cells/cached counts are per entry and the cache can never turn measured
+// work into a disk read.
+func measureBench(matrix []benchEntry, quick bool, jobs int, progress bool, stderr io.Writer) *perf.Archive {
+	perf.Enable()
+	defer perf.Disable()
+	prevHook := sim.StatsHook
+	sim.StatsHook = perf.ObserveSim
+	defer func() { sim.StatsHook = prevHook }()
+
+	a := &perf.Archive{
+		Schema: perf.SchemaVersion,
+		Date:   time.Now().Format("2006-01-02"),
+		Quick:  quick,
+		Host:   perf.NewHost(jobs),
+	}
+	for _, e := range matrix {
+		runner := &sweep.Runner{Workers: jobs}
+		if progress {
+			runner.Progress = runner.ProgressWriter(stderr)
+		}
+		fmt.Fprintf(stderr, "bench: %s...\n", e.name)
+		// Settle the heap so the entry's alloc delta is its own, not the
+		// previous entry's garbage.
+		runtime.GC()
+		before := perf.TakeSnapshot()
+		e.run(quick, runner)
+		d := perf.Delta(before, perf.TakeSnapshot())
+		cells, cached, _ := runner.Stats()
+		a.Entries = append(a.Entries, perf.EntryFromDelta(e.name, d, cells, cached))
+	}
+	return a
+}
+
+func readBenchFile(path string) (*perf.Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return perf.ReadArchive(f)
+}

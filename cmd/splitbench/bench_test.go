@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"splitio/internal/perf"
+)
+
+// benchEventLoop runs the cheapest matrix entry and returns the exit code
+// plus captured streams. The eventloop entry finishes in well under a
+// second, which is what makes CLI-level bench tests affordable.
+func benchEventLoop(t *testing.T, extra ...string) (int, *bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	args := append([]string{"-quick", "-only", "eventloop"}, extra...)
+	code := runBench(1, false, args, &out, &errb)
+	return code, &out, &errb
+}
+
+func TestBenchWritesValidArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	code, out, errb := benchEventLoop(t, "-o", path)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := perf.ReadArchive(f)
+	if err != nil {
+		t.Fatalf("archive does not round-trip: %v", err)
+	}
+	if len(a.Entries) != 1 || a.Entries[0].Name != "eventloop" {
+		t.Fatalf("archive entries = %+v, want one eventloop entry", a.Entries)
+	}
+	e := a.Entries[0]
+	if e.Events <= 0 || e.EventsPerSec <= 0 || e.WallNS <= 0 {
+		t.Errorf("eventloop entry not measured: %+v", e)
+	}
+	if !a.Quick || a.Host.GoVersion == "" {
+		t.Errorf("archive metadata incomplete: quick=%v host=%+v", a.Quick, a.Host)
+	}
+	if !strings.Contains(out.String(), "eventloop") {
+		t.Errorf("text table missing entry:\n%s", out.String())
+	}
+}
+
+// TestBenchDiffInjectedRegression doctors a baseline so the fresh
+// measurement must look like a huge slowdown, and requires the gate to
+// exit nonzero — the property the CI perf job depends on.
+func TestBenchDiffInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if code, _, errb := benchEventLoop(t, "-o", base); code != 0 {
+		t.Fatalf("baseline run failed (%d):\n%s", code, errb.String())
+	}
+	f, err := os.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := perf.ReadArchive(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject the regression: claim the baseline was 100x faster than any
+	// real measurement on this host can be.
+	a.Entries[0].EventsPerSec *= 100
+	doctored := filepath.Join(dir, "doctored.json")
+	w, err := os.Create(doctored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteJSON(w); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	code, out, _ := benchEventLoop(t, "-o", "", "-diff", doctored, "-tolerance", "2")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (regression beyond tolerance)\nstdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION eventloop: events_per_sec") {
+		t.Errorf("diff report does not name the regression:\n%s", out.String())
+	}
+}
+
+// TestBenchDiffCleanBaseline: diffing against a baseline recorded moments
+// ago on the same host passes the generous default tolerance.
+func TestBenchDiffCleanBaseline(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	if code, _, errb := benchEventLoop(t, "-o", base); code != 0 {
+		t.Fatalf("baseline run failed (%d):\n%s", code, errb.String())
+	}
+	code, out, errb := benchEventLoop(t, "-o", "", "-diff", base, "-tolerance", "25")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no regressions beyond") {
+		t.Errorf("diff report missing clean verdict:\n%s", out.String())
+	}
+}
+
+func TestBenchDiffRejectsNonArchive(t *testing.T) {
+	bogus := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(bogus, []byte(`{"seed":1,"schedulers":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := runBench(1, false, []string{"-diff", bogus}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (usage error)", code)
+	}
+	if !strings.Contains(errb.String(), "not a bench archive") ||
+		!strings.Contains(errb.String(), "splitbench bench [-o FILE]") {
+		t.Errorf("stderr missing schema hint:\n%s", errb.String())
+	}
+}
+
+func TestBenchUnknownEntryIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := runBench(1, false, []string{"-only", "fig99"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (usage error)", code)
+	}
+	if !strings.Contains(errb.String(), `"fig99"`) {
+		t.Errorf("stderr does not name the unknown entry:\n%s", errb.String())
+	}
+}

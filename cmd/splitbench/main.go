@@ -49,6 +49,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -110,6 +112,12 @@ func parseSeeds(s string) ([]int64, error) {
 }
 
 func main() {
+	// All work happens in run so the pprof deferred stops execute before
+	// the process exits (os.Exit skips deferred calls).
+	os.Exit(run())
+}
+
+func run() int {
 	scale := flag.Float64("scale", 1.0, "measurement-window scale factor")
 	seed := flag.Int64("seed", 1, "deterministic random seed")
 	seeds := flag.String("seeds", "", "seed range `A..B` (inclusive); runs each experiment once per seed, overriding -seed")
@@ -118,9 +126,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to `FILE`")
 	stats := flag.Bool("stats", false, "print per-machine metric registries after the run")
+	progress := flag.Bool("progress", false, "print a sweep progress heartbeat (cells done/total, cache hits, ETA) to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to `FILE`")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to `FILE`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: splitbench [-scale F] [-seed N] [-seeds A..B] [-j N] [-cache] [-trace FILE] [-stats] [experiment ...]\n")
-		fmt.Fprintf(os.Stderr, "       splitbench [-scale F] [-seed N] [-j N] report [-format text|json] [-o FILE] [-diff OLD NEW]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: splitbench [-scale F] [-seed N] [-seeds A..B] [-j N] [-cache] [-trace FILE] [-stats] [-progress] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "       splitbench [-scale F] [-seed N] [-j N] report [-format text|json] [-o FILE] [-diff OLD NEW]\n")
+		fmt.Fprintf(os.Stderr, "       splitbench [-j N] bench [-quick] [-o FILE] [-diff BASELINE]\n\nexperiments:\n")
 		for _, e := range exp.All {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
 		}
@@ -131,7 +143,41 @@ func main() {
 		for _, e := range exp.All {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not collectible garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+			}
+		}()
+	}
+
+	if args := flag.Args(); len(args) > 0 && args[0] == "bench" {
+		// bench builds its own runners (fresh and uncached per matrix entry,
+		// so measurements never degrade into cache reads).
+		return runBench(*jobs, *progress, args[1:], os.Stdout, os.Stderr)
 	}
 
 	runner := &sweep.Runner{Workers: *jobs}
@@ -139,22 +185,25 @@ func main() {
 		c, err := sweep.Open(sweep.DefaultCacheDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		runner.Cache = c
+	}
+	if *progress {
+		runner.Progress = runner.ProgressWriter(os.Stderr)
 	}
 
 	if args := flag.Args(); len(args) > 0 && args[0] == "report" {
 		opts := exp.Options{Scale: *scale, Seed: *seed, Runner: runner}
 		code := runReport(opts, args[1:], os.Stdout, os.Stderr)
 		sweepSummary(runner)
-		os.Exit(code)
+		return code
 	}
 
 	seedList, err := parseSeeds(*seeds)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	if seedList == nil {
 		seedList = []int64{*seed}
@@ -167,7 +216,7 @@ func main() {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		traceOut = f
 		opts.Tracer = trace.New()
@@ -179,7 +228,7 @@ func main() {
 	exps, err := resolve(flag.Args())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	failed := false
 	for _, sd := range seedList {
@@ -188,13 +237,12 @@ func main() {
 			fmt.Printf("\n######## seed %d ########\n", sd)
 		}
 		for _, e := range exps {
-			// Host-side timing allowlist: this measures how long the benchmark
-			// driver itself took on the host, printed alongside results; it
-			// never feeds back into the simulation (see DESIGN.md,
-			// "Determinism contract").
-			start := time.Now() //splitlint:ignore simclock host-side wall time for the progress banner, never enters the simulation
+			// Host-side wall time for the progress banner; cmd/ packages are
+			// outside the simclock contract (see DESIGN.md, "Determinism
+			// contract") and it never feeds back into the simulation.
+			start := time.Now()
 			tab := e.Run(opts)
-			printTable(tab, time.Since(start)) //splitlint:ignore simclock host-side wall time for the progress banner, never enters the simulation
+			printTable(tab, time.Since(start))
 			// Checking experiments (crashsweep) report invariant violations via
 			// this metric; a nonzero count fails the run so `make crashsweep`
 			// gates CI.
@@ -209,7 +257,7 @@ func main() {
 	if opts.Tracer != nil {
 		if err := writeTrace(traceOut, opts.Tracer); err != nil {
 			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		events := opts.Tracer.Events()
 		fmt.Fprintf(os.Stderr, "\ntrace: %d events -> %s\n\n", len(events), *traceFile)
@@ -224,12 +272,13 @@ func main() {
 	}
 	sweepSummary(runner)
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-// sweepSummary reports cell totals on stderr (stdout stays byte-identical
-// across -j and -cache settings).
+// sweepSummary reports cell totals and wall-time accounting on stderr
+// (stdout stays byte-identical across -j and -cache settings).
 func sweepSummary(r *sweep.Runner) {
 	cells, cached, errs := r.Stats()
 	if cells == 0 {
@@ -243,7 +292,10 @@ func sweepSummary(r *sweep.Runner) {
 	if workers > 0 {
 		w = fmt.Sprint(workers)
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d cells (%d cached, %d failed) across %s workers\n", cells, cached, errs, w)
+	wallNS, maxNS := r.Wall()
+	fmt.Fprintf(os.Stderr, "sweep: %d cells (%d cached, %d failed, %d misses) across %s workers; cell wall %v total, %v slowest\n",
+		cells, cached, errs, cells-cached,
+		w, time.Duration(wallNS).Round(time.Millisecond), time.Duration(maxNS).Round(time.Millisecond))
 }
 
 func writeTrace(f *os.File, tr *trace.Tracer) error {

@@ -44,6 +44,11 @@ func TestSimClockFixtures(t *testing.T) {
 		"internal/cache/clock.go:15: [simclock] time.Now reads the host clock; use virtual time (sim.Env.Now / sim.Proc.Now)",
 	})
 	assertFindings(t, fixture(t, AnalyzerSimClock, "simclock/good"), nil)
+	// The package allowlist: internal/perf and cmd/* read host time without
+	// directives; every other package is still flagged.
+	assertFindings(t, fixture(t, AnalyzerSimClock, "simclock/allow"), []string{
+		"internal/sweep/sweep.go:7: [simclock] time.Since reads the host clock; use virtual time (sim.Env.Now / sim.Proc.Now)",
+	})
 }
 
 func TestSimRandFixtures(t *testing.T) {

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // wallClockFuncs are the package time functions that read or wait on the
@@ -22,13 +23,22 @@ var wallClockFuncs = map[string]string{
 
 // AnalyzerSimClock flags references to wall-clock functions in package time.
 // The simulator's notion of time is virtual, owned by internal/sim; any host
-// clock read makes run output depend on machine speed. Host-side timing
-// (e.g. the benchmark driver reporting real elapsed time) is allowlisted
-// with a //splitlint:ignore directive and a reason.
+// clock read makes run output depend on machine speed.
+//
+// Two kinds of package are exempt, making them the module's only host-time
+// surface: internal/perf (the host-side self-profiling layer, which exists
+// to measure wall time and exports perf.NowNS for everyone else) and the
+// cmd/ binaries (drivers outside the simulation). Any other package wanting
+// host time must route through internal/perf or carry a
+// //splitlint:ignore directive with a reason.
 var AnalyzerSimClock = &Analyzer{
 	Name: "simclock",
 	Doc:  "forbid wall-clock reads; virtual time comes from internal/sim",
 	Run: func(pass *Pass) {
+		if pass.Path == pass.ModPath+"/internal/perf" ||
+			strings.HasPrefix(pass.Path, pass.ModPath+"/cmd/") {
+			return
+		}
 		for _, file := range pass.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)

@@ -1,0 +1,7 @@
+package main
+
+import "time"
+
+// cmd/ binaries are drivers outside the simulation; host time is allowed
+// without a directive.
+func main() { _ = time.Now() }

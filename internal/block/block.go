@@ -13,6 +13,7 @@ import (
 
 	"splitio/internal/causes"
 	"splitio/internal/device"
+	"splitio/internal/perf"
 	"splitio/internal/sim"
 	"splitio/internal/trace"
 )
@@ -168,8 +169,11 @@ func (l *Layer) Disk() device.Disk { return l.disk }
 // Stats returns a snapshot of the layer's counters.
 func (l *Layer) Stats() Stats { return l.stats }
 
-// Submit adds a request to the block layer and returns its completion.
+// Submit adds a request to the block layer and returns its completion. It
+// is the block bucket's host-CPU profiling point (the synchronous
+// queue-insert path, including the elevator's Add).
 func (l *Layer) Submit(r *Request) *sim.Completion {
+	defer perf.End(perf.BucketBlock, perf.Begin(perf.BucketBlock))
 	if r.Blocks <= 0 {
 		r.Blocks = 1
 	}
@@ -255,7 +259,12 @@ func (l *Layer) Kick() {
 
 func (l *Layer) dispatcher(p *sim.Proc) {
 	for {
+		// The elevator's pick and the disk model's service-time computation
+		// are the sched and device buckets' host-CPU profiling points; both
+		// are synchronous, so the samples never straddle a coroutine switch.
+		pt := perf.Begin(perf.BucketSched)
 		r := l.elv.Next(p.Now())
+		perf.End(perf.BucketSched, pt)
 		if r == nil {
 			l.work.Wait(p)
 			continue
@@ -274,7 +283,9 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 				FileID: r.FileID, TxnID: r.TxnID, Pages: r.Pages,
 			})
 		}
+		pt = perf.Begin(perf.BucketDevice)
 		svc := l.disk.ServiceTime(r.Op, r.LBA, r.Blocks, time.Duration(p.Now()), r.Barrier)
+		perf.End(perf.BucketDevice, pt)
 		var pos, xfer time.Duration
 		traced := l.tr.Enabled()
 		if traced {

@@ -230,6 +230,9 @@ func (k *Kernel) registerGauges() {
 	r.Gauge("block.queue_depth", func() float64 { return float64(k.Block.QueueDepth()) })
 	r.Gauge("block.dispatched", func() float64 { return float64(k.Block.Stats().Dispatched) })
 	r.Gauge("block.busy_seconds", func() float64 { return k.Block.Stats().BusyTime.Seconds() })
+	r.Gauge("sim.events", func() float64 { return float64(k.Env.Stats().Events) })
+	r.Gauge("sim.switches", func() float64 { return float64(k.Env.Stats().Switches) })
+	r.Gauge("sim.heap_max", func() float64 { return float64(k.Env.Stats().HeapMax) })
 	if k.Fault != nil {
 		k.Fault.RegisterMetrics(r)
 	}

@@ -1,0 +1,154 @@
+package perf
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleArchive(date string, eps, allocs float64) *Archive {
+	return &Archive{
+		Schema: SchemaVersion,
+		Date:   date,
+		Quick:  true,
+		Host:   NewHost(4),
+		Entries: []Entry{{
+			Name: "eventloop", WallNS: 1e9, Events: 1000, EventsPerSec: eps,
+			Switches: 500, SwitchesPerEvent: 0.5, EventHeapMax: 8, Envs: 1,
+			AllocsPerEvent: allocs, BytesPerEvent: 64,
+			Buckets: []BucketSample{{Name: "cache", Calls: 100, Sampled: 2, MeanNS: 40}},
+		}},
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	a := sampleArchive("2026-08-08", 50000, 3)
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Errorf("round trip changed the archive:\ngot:  %+v\nwant: %+v", got, a)
+	}
+}
+
+func TestReadArchiveRejections(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"garbage", "not json", "not a bench archive"},
+		{"husk", "{}", "missing schema and entries"},
+		{"wrong-schema", `{"schema": 99, "entries": [{"name": "x"}]}`, "schema 99"},
+		{"report-archive", `{"seed": 1, "schedulers": []}`, "missing schema and entries"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadArchive(strings.NewReader(c.doc))
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("ReadArchive(%s) error = %v, want %q", c.name, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestDiffGatesThroughputAndAllocs(t *testing.T) {
+	old := sampleArchive("2026-08-01", 60000, 3)
+	// 3x throughput drop and 3x alloc growth, 2x tolerance: both gate.
+	bad := sampleArchive("2026-08-08", 20000, 9)
+	regs := Diff(old, bad, 2)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want events_per_sec and allocs_per_event", regs)
+	}
+	if regs[0].Metric != "allocs_per_event" || regs[1].Metric != "events_per_sec" {
+		t.Errorf("regressions out of metric order: %+v", regs)
+	}
+	if regs[1].Factor < 2.9 || regs[1].Factor > 3.1 {
+		t.Errorf("events_per_sec factor = %.2f, want ~3", regs[1].Factor)
+	}
+
+	// A 1.5x drop stays inside the 2x tolerance.
+	if regs := Diff(old, sampleArchive("2026-08-08", 40000, 3), 2); len(regs) != 0 {
+		t.Errorf("within-tolerance drift flagged: %+v", regs)
+	}
+}
+
+func TestDiffSkipsBelowAllocFloor(t *testing.T) {
+	// Old entry allocates ~nothing per event; any ratio of near-zero
+	// numbers must not gate.
+	old := sampleArchive("2026-08-01", 60000, 0.01)
+	new := sampleArchive("2026-08-08", 60000, 0.9)
+	if regs := Diff(old, new, 2); len(regs) != 0 {
+		t.Errorf("sub-floor alloc growth flagged: %+v", regs)
+	}
+}
+
+func TestDiffIgnoresUnmatchedEntries(t *testing.T) {
+	old := sampleArchive("2026-08-01", 60000, 3)
+	old.Entries = append(old.Entries, Entry{Name: "retired", EventsPerSec: 1000})
+	new := sampleArchive("2026-08-08", 60000, 3)
+	new.Entries = append(new.Entries, Entry{Name: "added", EventsPerSec: 1000})
+	if regs := Diff(old, new, 2); len(regs) != 0 {
+		t.Errorf("one-sided entries flagged: %+v", regs)
+	}
+}
+
+func TestDiffNormalizesTolerance(t *testing.T) {
+	old := sampleArchive("2026-08-01", 60000, 3)
+	same := sampleArchive("2026-08-08", 60000, 3)
+	// tol 0 would flag any noise at all; it must clamp to exact-match.
+	if regs := Diff(old, same, 0); len(regs) != 0 {
+		t.Errorf("identical archives flagged at tol 0: %+v", regs)
+	}
+}
+
+func TestWriteDiffNamesEverything(t *testing.T) {
+	old := sampleArchive("2026-08-01", 60000, 3)
+	old.Entries = append(old.Entries, Entry{Name: "retired"})
+	new := sampleArchive("2026-08-08", 20000, 3)
+	new.Entries = append(new.Entries, Entry{Name: "added"})
+	new.Host.Workers = 8
+	regs := Diff(old, new, 2)
+	var buf bytes.Buffer
+	WriteDiff(&buf, old, new, 2, regs)
+	out := buf.String()
+	for _, want := range []string{
+		"REGRESSION eventloop: events_per_sec regressed 3.00x",
+		"--- retired (only in old archive)",
+		"+++ added (only in new archive)",
+		"host changed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEntryFromDelta(t *testing.T) {
+	var d Snapshot
+	d.WhenNS = 2e9
+	d.Sim = SimStat{Envs: 3, Events: 1000, Switches: 500, HeapMax: 12}
+	d.Mem = MemStat{Mallocs: 2000, TotalAlloc: 64000}
+	d.Buckets[BucketCache] = BucketStat{Calls: 400, Sampled: 4, SampledNS: 200}
+	e := EntryFromDelta("x", d, 7, 2)
+	if e.EventsPerSec != 500 {
+		t.Errorf("events/sec = %f, want 500", e.EventsPerSec)
+	}
+	if e.AllocsPerEvent != 2 || e.BytesPerEvent != 64 {
+		t.Errorf("alloc rates = %f/%f, want 2/64", e.AllocsPerEvent, e.BytesPerEvent)
+	}
+	if e.SwitchesPerEvent != 0.5 || e.EventHeapMax != 12 || e.Envs != 3 {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.Cells != 7 || e.Cached != 2 {
+		t.Errorf("cells/cached = %d/%d, want 7/2", e.Cells, e.Cached)
+	}
+	// Only the bucket with calls appears.
+	if len(e.Buckets) != 1 || e.Buckets[0].Name != "cache" || e.Buckets[0].MeanNS != 50 {
+		t.Errorf("buckets = %+v, want one cache sample at mean 50ns", e.Buckets)
+	}
+}

@@ -1,0 +1,286 @@
+// The BENCH archive: the schema-versioned JSON `splitbench bench` emits
+// (BENCH_<date>.json), one point of the simulator's recorded performance
+// trajectory, plus the diff that turns two archives into a regression
+// report with a tolerance gate — the same report/diff idiom `splitbench
+// report` established in internal/attr.
+
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion identifies the archive layout. Bump it on any
+// field-semantics change so -diff can refuse cross-schema comparisons.
+const SchemaVersion = 1
+
+// Archive is one `splitbench bench` run: the benchmark matrix's measured
+// entries plus the host fingerprint they were measured on.
+type Archive struct {
+	Schema int `json:"schema"`
+	// Date is the host date (YYYY-MM-DD) the archive was recorded.
+	Date string `json:"date"`
+	// Quick marks the reduced-scale CI matrix (-quick).
+	Quick bool `json:"quick"`
+	Host  Host `json:"host"`
+	// Entries holds one record per benchmark matrix entry, in matrix order.
+	Entries []Entry `json:"entries"`
+}
+
+// Host fingerprints the machine and configuration an archive was measured
+// on. Diffs across differing hosts are reported, not refused: the trajectory
+// spans machines, and the tolerance gate is sized for that noise.
+type Host struct {
+	GoVersion string `json:"go"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	// Workers is the sweep worker count (-j) the matrix ran under; archives
+	// measured at different -j are not throughput-comparable.
+	Workers int `json:"workers"`
+}
+
+// NewHost fingerprints the current process.
+func NewHost(workers int) Host {
+	return Host{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Workers:   workers,
+	}
+}
+
+// Entry is one benchmark matrix entry's measurements.
+type Entry struct {
+	Name string `json:"name"`
+	// WallNS is host wall-clock time for the entry.
+	WallNS int64 `json:"wall_ns"`
+	// Events is the number of simulation events executed (summed over every
+	// kernel the entry built); EventsPerSec = Events / wall seconds.
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Switches counts coroutine context switches (process handoffs); the
+	// per-event ratio exposes how much of the loop still pays the two-switch
+	// goroutine tax the DES rewrite wants to remove.
+	Switches         int64   `json:"switches"`
+	SwitchesPerEvent float64 `json:"switches_per_event"`
+	// EventHeapMax is the event-heap depth high-water mark.
+	EventHeapMax int64 `json:"event_heap_max"`
+	// Envs counts simulation environments (kernels) the entry closed.
+	Envs int64 `json:"envs"`
+	// AllocsPerEvent and BytesPerEvent are runtime.MemStats deltas divided
+	// by Events.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	// Cells/Cached are the sweep-cell counts the entry dispatched.
+	Cells  int64 `json:"cells,omitempty"`
+	Cached int64 `json:"cached,omitempty"`
+	// Buckets is the sampled per-layer host-CPU attribution, present when
+	// sampling was active during the entry.
+	Buckets []BucketSample `json:"buckets,omitempty"`
+}
+
+// BucketSample is one layer bucket's sampled attribution within an entry.
+type BucketSample struct {
+	Name    string  `json:"name"`
+	Calls   int64   `json:"calls"`
+	Sampled int64   `json:"sampled"`
+	MeanNS  float64 `json:"mean_ns"`
+}
+
+// EntryFromDelta assembles an Entry from a bracketing snapshot delta plus
+// the entry's sweep-cell counts.
+func EntryFromDelta(name string, d Snapshot, cells, cached int64) Entry {
+	e := Entry{
+		Name:         name,
+		WallNS:       d.WhenNS,
+		Events:       d.Sim.Events,
+		Switches:     d.Sim.Switches,
+		EventHeapMax: d.Sim.HeapMax,
+		Envs:         d.Sim.Envs,
+		Cells:        cells,
+		Cached:       cached,
+	}
+	if d.WhenNS > 0 {
+		e.EventsPerSec = float64(d.Sim.Events) / (float64(d.WhenNS) / 1e9)
+	}
+	if d.Sim.Events > 0 {
+		e.SwitchesPerEvent = float64(d.Sim.Switches) / float64(d.Sim.Events)
+		e.AllocsPerEvent = float64(d.Mem.Mallocs) / float64(d.Sim.Events)
+		e.BytesPerEvent = float64(d.Mem.TotalAlloc) / float64(d.Sim.Events)
+	}
+	for _, b := range Buckets() {
+		s := d.Buckets[b]
+		if s.Calls == 0 {
+			continue
+		}
+		e.Buckets = append(e.Buckets, BucketSample{
+			Name: b.String(), Calls: s.Calls, Sampled: s.Sampled, MeanNS: s.MeanNS(),
+		})
+	}
+	return e
+}
+
+// WriteJSON renders the archive as indented JSON (the BENCH_<date>.json
+// artifact form).
+func (a *Archive) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText renders the archive as a human-readable table.
+func (a *Archive) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "bench archive  date=%s quick=%v host=%s/%s %s cpus=%d -j%d\n",
+		a.Date, a.Quick, a.Host.OS, a.Host.Arch, a.Host.GoVersion, a.Host.CPUs, a.Host.Workers)
+	fmt.Fprintf(w, "%-12s %10s %12s %14s %12s %12s %10s %8s\n",
+		"entry", "wall_ms", "events", "events/sec", "allocs/ev", "bytes/ev", "switch/ev", "heapmax")
+	for _, e := range a.Entries {
+		fmt.Fprintf(w, "%-12s %10.1f %12d %14.0f %12.1f %12.1f %10.2f %8d\n",
+			e.Name, float64(e.WallNS)/1e6, e.Events, e.EventsPerSec,
+			e.AllocsPerEvent, e.BytesPerEvent, e.SwitchesPerEvent, e.EventHeapMax)
+		for _, b := range e.Buckets {
+			fmt.Fprintf(w, "    bucket %-8s calls=%-12d sampled=%-8d mean=%.0fns\n",
+				b.Name, b.Calls, b.Sampled, b.MeanNS)
+		}
+	}
+}
+
+// ReadArchive parses a JSON archive written by WriteJSON. Documents that
+// decode but carry none of an archive's identifying fields, or a schema this
+// build does not know, are rejected — diffing a husk would report every
+// entry as vanished.
+func ReadArchive(r io.Reader) (*Archive, error) {
+	var a Archive
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("not a bench archive: %w", err)
+	}
+	if a.Schema == 0 && len(a.Entries) == 0 {
+		return nil, fmt.Errorf("not a bench archive: missing schema and entries fields")
+	}
+	if a.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench archive schema %d; this build reads schema %d", a.Schema, SchemaVersion)
+	}
+	return &a, nil
+}
+
+// Regression is one gated metric that moved past the tolerance between two
+// archives.
+type Regression struct {
+	Entry  string  `json:"entry"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Factor is how many times worse the new value is (>= 1).
+	Factor float64 `json:"factor"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s regressed %.2fx (%.1f -> %.1f)", r.Entry, r.Metric, r.Factor, r.Old, r.New)
+}
+
+// allocFloor keeps the allocs-per-event gate from firing on noise: entries
+// allocating less than this per event are below the gate's resolution.
+const allocFloor = 1.0
+
+// Diff compares two archives and returns the regressions beyond tolerance:
+// events/sec that fell by more than tol times, and allocs/event that grew
+// by more than tol times (old values under a floor are skipped — ratios of
+// near-zero numbers gate nothing). tol <= 1 means any worsening at all.
+// Entries present on only one side are never regressions; the text report
+// names them.
+func Diff(old, new *Archive, tol float64) []Regression {
+	if tol < 1 {
+		tol = 1
+	}
+	newBy := make(map[string]*Entry, len(new.Entries))
+	for i := range new.Entries {
+		newBy[new.Entries[i].Name] = &new.Entries[i]
+	}
+	var regs []Regression
+	for i := range old.Entries {
+		oe := &old.Entries[i]
+		ne, ok := newBy[oe.Name]
+		if !ok {
+			continue
+		}
+		if oe.EventsPerSec > 0 && ne.EventsPerSec*tol < oe.EventsPerSec {
+			regs = append(regs, Regression{
+				Entry: oe.Name, Metric: "events_per_sec",
+				Old: oe.EventsPerSec, New: ne.EventsPerSec,
+				Factor: oe.EventsPerSec / ne.EventsPerSec,
+			})
+		}
+		if oe.AllocsPerEvent >= allocFloor && ne.AllocsPerEvent > oe.AllocsPerEvent*tol {
+			regs = append(regs, Regression{
+				Entry: oe.Name, Metric: "allocs_per_event",
+				Old: oe.AllocsPerEvent, New: ne.AllocsPerEvent,
+				Factor: ne.AllocsPerEvent / oe.AllocsPerEvent,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Entry != regs[j].Entry {
+			return regs[i].Entry < regs[j].Entry
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// WriteDiff renders what moved from old to new — every matched entry's
+// headline deltas, entries present on one side only, host changes — then
+// the regressions beyond tolerance (the gate's verdict).
+func WriteDiff(w io.Writer, old, new *Archive, tol float64, regs []Regression) {
+	fmt.Fprintf(w, "bench diff: old(%s) -> new(%s), tolerance %.2fx\n", old.Date, new.Date, tol)
+	if old.Host != new.Host {
+		fmt.Fprintf(w, "host changed: %+v -> %+v (cross-host numbers are noisy; the tolerance gate is sized for it)\n",
+			old.Host, new.Host)
+	}
+	newBy := make(map[string]*Entry, len(new.Entries))
+	for i := range new.Entries {
+		newBy[new.Entries[i].Name] = &new.Entries[i]
+	}
+	seen := make(map[string]bool)
+	ratio := func(o, n float64) string {
+		if o <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", (n/o-1)*100)
+	}
+	for i := range old.Entries {
+		oe := &old.Entries[i]
+		seen[oe.Name] = true
+		ne, ok := newBy[oe.Name]
+		if !ok {
+			fmt.Fprintf(w, "--- %s (only in old archive)\n", oe.Name)
+			continue
+		}
+		fmt.Fprintf(w, "%-12s events/sec %12.0f -> %12.0f (%s)   allocs/ev %8.1f -> %8.1f (%s)   wall %8.1fms -> %8.1fms\n",
+			oe.Name, oe.EventsPerSec, ne.EventsPerSec, ratio(oe.EventsPerSec, ne.EventsPerSec),
+			oe.AllocsPerEvent, ne.AllocsPerEvent, ratio(oe.AllocsPerEvent, ne.AllocsPerEvent),
+			float64(oe.WallNS)/1e6, float64(ne.WallNS)/1e6)
+	}
+	for i := range new.Entries {
+		if !seen[new.Entries[i].Name] {
+			fmt.Fprintf(w, "+++ %s (only in new archive)\n", new.Entries[i].Name)
+		}
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "no regressions beyond %.2fx tolerance\n", tol)
+		return
+	}
+	fmt.Fprintf(w, "%d regression(s) beyond %.2fx tolerance:\n", len(regs), tol)
+	for _, r := range regs {
+		fmt.Fprintf(w, "  REGRESSION %s\n", r)
+	}
+}

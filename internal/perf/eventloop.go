@@ -1,0 +1,52 @@
+// The raw event-loop microbench: a bare sim.Env driven hard with no I/O
+// stack on top, so `splitbench bench` records the ceiling the DES kernel
+// itself imposes — the number ROADMAP's ≥10× speedup item is graded on.
+
+package perf
+
+import (
+	"time"
+
+	"splitio/internal/sim"
+)
+
+// EventLoopProcs is the number of cooperative processes EventLoopBench
+// spawns; each Sleep forces two goroutine handoffs, so the bench exercises
+// the coroutine engine as well as the raw heap.
+const EventLoopProcs = 4
+
+// EventLoopBench drives a bare event loop for approximately n events, split
+// between a self-rescheduling timer chain (pure heap push/pop, no process
+// switches) and a set of sleeping processes (two context switches per
+// event). It returns the environment's final kernel counters; when a
+// sim.StatsHook is installed the counters also fold into the global
+// aggregate at Close, exactly as an experiment kernel's would.
+func EventLoopBench(n int64) sim.Stats {
+	if n < 16 {
+		n = 16
+	}
+	env := sim.NewEnv(1)
+	// Half the budget: cooperative processes ping-ponging with the loop.
+	perProc := n / 2 / EventLoopProcs
+	for i := 0; i < EventLoopProcs; i++ {
+		env.Go("spin", func(p *sim.Proc) {
+			for j := int64(0); j < perProc; j++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+	}
+	// The other half: a bare timer chain rescheduling itself.
+	left := n / 2
+	var tick func()
+	tick = func() {
+		if left > 0 {
+			left--
+			env.Schedule(time.Microsecond, tick)
+		}
+	}
+	env.Schedule(0, tick)
+	env.RunAll()
+	stats := env.Stats()
+	env.Close()
+	return stats
+}

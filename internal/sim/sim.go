@@ -58,6 +58,29 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
+// Stats counts the kernel-level work an environment has performed. The
+// counters are plain increments on paths the event loop already executes, so
+// they are always on; they never influence scheduling and carry no host
+// time, so same-seed runs report identical Stats.
+type Stats struct {
+	// Events is the number of events popped and executed.
+	Events int64
+	// Switches counts process handoffs (each one costs two goroutine context
+	// switches in the coroutine engine — the tax the DES-core rewrite on the
+	// roadmap wants to eliminate).
+	Switches int64
+	// HeapMax is the event-heap depth high-water mark.
+	HeapMax int
+}
+
+// StatsHook, when non-nil, receives every environment's final Stats as it
+// closes. It exists for host-side self-profiling (internal/perf aggregates
+// kernel counters across the concurrently closing environments of a sweep);
+// install it before running simulations and leave it in place — the hook
+// itself must be safe to call from multiple host goroutines. Simulation code
+// must never read or write it.
+var StatsHook func(Stats)
+
 // Env is a simulation environment: a virtual clock, an event queue, and the
 // set of processes it drives. An Env is not safe for concurrent use; all
 // interaction must happen from within the simulation (process bodies and
@@ -71,6 +94,7 @@ type Env struct {
 	park   chan struct{} //splitlint:ignore nogoroutine coroutine engine: exactly one goroutine runs at a time; the park/resume handoff IS the deterministic scheduler
 	cur    *Proc
 	closed bool
+	stats  Stats
 }
 
 // NewEnv returns a new environment whose clock starts at zero and whose
@@ -88,6 +112,9 @@ func (e *Env) Now() Time { return e.now }
 // Rand returns the environment's deterministic random stream.
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
+// Stats returns the environment's kernel counters so far.
+func (e *Env) Stats() Stats { return e.stats }
+
 // Schedule runs fn at the current time plus delay. A negative delay is
 // treated as zero. fn runs in the event loop; it must not block.
 func (e *Env) Schedule(delay time.Duration, fn func()) {
@@ -104,6 +131,9 @@ func (e *Env) ScheduleAt(at Time, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	if n := len(e.events); n > e.stats.HeapMax {
+		e.stats.HeapMax = n
+	}
 }
 
 // procKilled is the panic sentinel used to unwind killed processes.
@@ -166,6 +196,7 @@ func (e *Env) runProc(p *Proc) {
 	}
 	prev := e.cur
 	e.cur = p
+	e.stats.Switches++
 	p.resume <- struct{}{} //splitlint:ignore nogoroutine hand the single execution token to p
 	<-e.park //splitlint:ignore nogoroutine wait until p parks; no two procs ever run concurrently
 	e.cur = prev
@@ -221,6 +252,7 @@ func (e *Env) Run(until Time) Time {
 		}
 		heap.Pop(&e.events)
 		e.now = ev.at
+		e.stats.Events++
 		ev.fn()
 	}
 	if e.now < until {
@@ -234,6 +266,7 @@ func (e *Env) RunAll() Time {
 	for e.events.Len() > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
+		e.stats.Events++
 		ev.fn()
 	}
 	return e.now
@@ -254,6 +287,12 @@ func (e *Env) Close() {
 		e.runProc(p)
 	}
 	e.procs = nil
+	// Report final kernel counters to the host-side profiler, if one is
+	// listening. This is the last thing Close does, so the hook sees the
+	// teardown handoffs too.
+	if StatsHook != nil {
+		StatsHook(e.stats)
+	}
 }
 
 // WaitQueue is a FIFO queue of blocked processes. Wakers schedule wake-ups

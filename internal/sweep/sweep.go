@@ -21,10 +21,14 @@ package sweep
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"splitio/internal/perf"
 )
 
 // Cell is one independent unit of a sweep: a deterministic function of its
@@ -65,10 +69,21 @@ type Runner struct {
 	// Cache, when non-nil, is consulted before running a cell and updated
 	// after (see Cache).
 	Cache *Cache
+	// Progress, when non-nil, is called after each cell resolves with the
+	// count of cells finished so far in the current Run call and the call's
+	// total. It runs on worker goroutines and must be goroutine-safe; see
+	// ProgressWriter for the standard heartbeat implementation.
+	Progress func(done, total int)
 
 	cells  atomic.Int64
 	cached atomic.Int64
 	errs   atomic.Int64
+	// Host wall-clock accounting (via perf.NowNS — sweep never reads the
+	// clock itself, keeping internal/perf the module's only host-time
+	// surface). wallNS sums per-cell wall time across workers, so it can
+	// exceed real elapsed time under -j; maxNS is the slowest single cell.
+	wallNS atomic.Int64
+	maxNS  atomic.Int64
 }
 
 // Run executes every cell and returns results in canonical cell order.
@@ -81,9 +96,16 @@ func (r *Runner) Run(cells []Cell) []Result {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	var done atomic.Int64
+	finish := func() {
+		if r.Progress != nil {
+			r.Progress(int(done.Add(1)), len(cells))
+		}
+	}
 	if workers <= 1 {
 		for i := range cells {
 			out[i] = r.runCell(cells[i])
+			finish()
 		}
 		return out
 	}
@@ -98,6 +120,7 @@ func (r *Runner) Run(cells []Cell) []Result {
 			defer wg.Done()
 			for i := range jobs {
 				out[i] = r.runCell(cells[i])
+				finish()
 			}
 		}()
 	}
@@ -115,6 +138,19 @@ func (r *Runner) Run(cells []Cell) []Result {
 // sibling cells. (Goroutines a crashed simulation leaves parked are leaked,
 // not joined — the process is expected to report the error and exit.)
 func (r *Runner) runCell(c Cell) (res Result) {
+	start := perf.NowNS()
+	defer func() {
+		// Registered first so it runs after the panic guard below: a
+		// crashing cell still gets its wall time charged.
+		d := perf.NowNS() - start
+		r.wallNS.Add(d)
+		for {
+			cur := r.maxNS.Load()
+			if d <= cur || r.maxNS.CompareAndSwap(cur, d) {
+				break
+			}
+		}
+	}()
 	res.Key = c.Key
 	r.cells.Add(1)
 	if r.Cache != nil {
@@ -152,6 +188,43 @@ func (r *Runner) runCell(c Cell) (res Result) {
 // from the cache, and how many failed, across all Run calls so far.
 func (r *Runner) Stats() (cells, cached, errs int64) {
 	return r.cells.Load(), r.cached.Load(), r.errs.Load()
+}
+
+// Wall reports the summed per-cell host wall time and the slowest single
+// cell, across all Run calls so far. The sum counts worker time, so at -j N
+// it can be up to N times the real elapsed time.
+func (r *Runner) Wall() (totalNS, maxNS int64) {
+	return r.wallNS.Load(), r.maxNS.Load()
+}
+
+// progressEveryNS throttles the ProgressWriter heartbeat.
+const progressEveryNS = 250 * int64(time.Millisecond)
+
+// ProgressWriter returns a Progress callback that writes a throttled
+// heartbeat to w: cells done/total, cache hits so far, elapsed wall time,
+// and a linear ETA from the mean cell rate. The final cell always prints,
+// so a finished sweep never shows a stale count.
+func (r *Runner) ProgressWriter(w io.Writer) func(done, total int) {
+	var mu sync.Mutex
+	start := perf.NowNS()
+	var lastNS int64
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := perf.NowNS()
+		if done < total && now-lastNS < progressEveryNS {
+			return
+		}
+		lastNS = now
+		_, cached, _ := r.Stats()
+		elapsed := time.Duration(now - start)
+		eta := "?"
+		if done > 0 {
+			eta = (elapsed / time.Duration(done) * time.Duration(total-done)).Round(time.Second).String()
+		}
+		fmt.Fprintf(w, "sweep: %d/%d cells (%d cached) elapsed %s eta %s\n",
+			done, total, cached, elapsed.Round(time.Second), eta)
+	}
 }
 
 // FirstErr returns the first cell error in rs, or nil.

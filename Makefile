@@ -19,8 +19,14 @@ NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
 check: vet lint build test race fuzz crashsweep report
 
+# The full interprocedural suite (call graph + taint fixpoints) is the
+# slowest static check, so the wall time is echoed to stderr; the SARIF
+# log feeds the code-scanning upload in CI.
 lint:
-	$(GO) run ./cmd/splitlint
+	@start=$$(date +%s%N); \
+	$(GO) run ./cmd/splitlint -sarif splitlint.sarif || exit $$?; \
+	end=$$(date +%s%N); \
+	echo "splitlint: clean in $$(( (end - start) / 1000000 )) ms" >&2
 
 build:
 	$(GO) build ./...
@@ -41,9 +47,14 @@ race:
 #   go run ./cmd/splitbench -j N bench -quick -o BENCH_baseline.json
 bench:
 	$(GO) run ./cmd/splitbench -j $(NPROC) bench -quick -o BENCH_ci.json -diff BENCH_baseline.json -tolerance 2
+	@$(MAKE) --no-print-directory lint >/dev/null
 
+# BenchmarkSplitlintRepo is a full cold whole-program analysis per
+# iteration, so it gets its own -benchtime=1x invocation rather than
+# joining the 1000x hot-path line.
 microbench:
 	$(GO) test -bench=. -benchtime=1000x -run '^$$' ./internal/sim ./internal/cache ./internal/perf
+	$(GO) test -bench=BenchmarkSplitlintRepo -benchtime=1x -run '^$$' ./internal/analysis
 
 # Replays the checked-in seed corpora (testdata/fuzz/...) without fuzzing:
 # a pure regression gate that keeps every once-interesting input passing.

@@ -1,16 +1,28 @@
-// Command splitlint checks the module against the simulator's determinism
-// contract (see internal/analysis). It type-checks every package and runs
-// the five analyzers — simclock, simrand, maporder, nogoroutine, layerdep —
-// in one process.
+// Command splitlint checks the module against the simulator's determinism &
+// performance contract (see internal/analysis). It type-checks every package
+// and runs the eight analyzers — the per-file rules simclock, simrand,
+// maporder, nogoroutine, layerdep and the whole-program rules hotpurity,
+// timetaint, floatdet — in one process.
 //
 // Usage:
 //
-//	splitlint [-json] [module-root]
+//	splitlint [-json] [-sarif FILE] [-enable LIST] [-disable LIST]
+//	          [-warn LIST] [-audit] [module-root]
 //
 // With no argument the module root is found by walking up from the current
 // directory to the nearest go.mod. Findings are printed one per line as
-// "file:line: [analyzer] message" (or as a JSON array with -json) and the
-// exit status is 1 when there are findings, 2 on load errors, 0 when clean.
+// "file:line: [analyzer] message" (or as a JSON array with -json); -sarif
+// additionally writes a SARIF 2.1.0 log for CI annotation upload.
+//
+// -enable/-disable take comma-separated analyzer names and select the
+// subset to run; -warn downgrades the listed analyzers to warn severity,
+// which reports their findings without failing the build. -audit appends
+// stale-suppression findings (//splitlint:ignore directives that no longer
+// suppress anything) and always runs the full suite, since a directive for
+// a disabled analyzer would otherwise read as stale.
+//
+// Exit status: 0 when clean (warn-tier findings do not fail the build),
+// 1 when error-tier violations were found, 2 on load/parse or usage errors.
 package main
 
 import (
@@ -19,37 +31,130 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"splitio/internal/analysis"
 )
 
+// options collects the CLI configuration for one run.
+type options struct {
+	json    bool
+	sarif   string
+	enable  string
+	disable string
+	warn    string
+	audit   bool
+	root    string
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	var o options
+	flag.BoolVar(&o.json, "json", false, "emit findings as a JSON array")
+	flag.StringVar(&o.sarif, "sarif", "", "also write findings as SARIF 2.1.0 to `file`")
+	flag.StringVar(&o.enable, "enable", "", "comma-separated `analyzers` to run (default: all)")
+	flag.StringVar(&o.disable, "disable", "", "comma-separated `analyzers` to skip")
+	flag.StringVar(&o.warn, "warn", "", "comma-separated `analyzers` downgraded to warn severity (reported, exit 0)")
+	flag.BoolVar(&o.audit, "audit", false, "report stale //splitlint:ignore directives (forces the full suite)")
 	flag.Parse()
-	os.Exit(run(os.Stdout, os.Stderr, *jsonOut, flag.Arg(0)))
+	o.root = flag.Arg(0)
+	os.Exit(run(os.Stdout, os.Stderr, o))
+}
+
+// selectAnalyzers resolves -enable/-disable/-warn into the analyzer list,
+// copying any analyzer whose severity is overridden so the shared globals
+// stay untouched.
+func selectAnalyzers(o options) ([]*analysis.Analyzer, error) {
+	names := func(list string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, n := range strings.Split(list, ",") {
+			n = strings.TrimSpace(n)
+			if analysis.AnalyzerByName(n) == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", n)
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	enable, err := names(o.enable)
+	if err != nil {
+		return nil, err
+	}
+	disable, err := names(o.disable)
+	if err != nil {
+		return nil, err
+	}
+	warn, err := names(o.warn)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analysis.Analyzers() {
+		if !o.audit { // -audit forces the full suite
+			if enable != nil && !enable[a.Name] {
+				continue
+			}
+			if disable[a.Name] {
+				continue
+			}
+		}
+		if warn[a.Name] {
+			dup := *a
+			dup.Severity = analysis.SeverityWarn
+			a = &dup
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // run executes the suite and returns the process exit code.
-func run(stdout, stderr io.Writer, asJSON bool, root string) int {
-	if root == "" {
+func run(stdout, stderr io.Writer, o options) int {
+	if o.root == "" {
 		var err error
-		root, err = findModuleRoot()
+		o.root, err = findModuleRoot()
 		if err != nil {
 			fmt.Fprintln(stderr, "splitlint:", err)
 			return 2
 		}
 	}
-	findings, err := analysis.Run(root, analysis.Analyzers())
+	analyzers, err := selectAnalyzers(o)
 	if err != nil {
 		fmt.Fprintln(stderr, "splitlint:", err)
 		return 2
 	}
-	if err := analysis.WriteFindings(stdout, findings, asJSON); err != nil {
+	findings, err := analysis.RunOpts(o.root, analyzers, analysis.Options{Audit: o.audit})
+	if err != nil {
 		fmt.Fprintln(stderr, "splitlint:", err)
 		return 2
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "splitlint: %d finding(s)\n", len(findings))
+	if err := analysis.WriteFindings(stdout, findings, o.json); err != nil {
+		fmt.Fprintln(stderr, "splitlint:", err)
+		return 2
+	}
+	if o.sarif != "" {
+		f, err := os.Create(o.sarif)
+		if err != nil {
+			fmt.Fprintln(stderr, "splitlint:", err)
+			return 2
+		}
+		werr := analysis.WriteSARIF(f, findings, analyzers)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "splitlint:", werr)
+			return 2
+		}
+	}
+	errs, warns := analysis.CountBySeverity(findings)
+	if warns > 0 {
+		fmt.Fprintf(stderr, "splitlint: %d warning(s)\n", warns)
+	}
+	if errs > 0 {
+		fmt.Fprintf(stderr, "splitlint: %d finding(s)\n", errs)
 		return 1
 	}
 	return 0

@@ -38,7 +38,7 @@ func Stamp() time.Time { return time.Now() }
 `,
 	})
 	var stdout, stderr bytes.Buffer
-	if code := run(&stdout, &stderr, true, root); code != 1 {
+	if code := run(&stdout, &stderr, options{json: true, root: root}); code != 1 {
 		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
 	}
 	var findings []struct {
@@ -69,7 +69,7 @@ const PageSize = 4096
 `,
 	})
 	var stdout, stderr bytes.Buffer
-	if code := run(&stdout, &stderr, true, root); code != 0 {
+	if code := run(&stdout, &stderr, options{json: true, root: root}); code != 0 {
 		t.Fatalf("exit code = %d, want 0 (stdout: %s, stderr: %s)", code, stdout.String(), stderr.String())
 	}
 	var findings []json.RawMessage
@@ -78,5 +78,183 @@ const PageSize = 4096
 	}
 	if len(findings) != 0 {
 		t.Errorf("clean module produced findings: %s", stdout.String())
+	}
+}
+
+// TestExitCodeViolations pins the exit-code contract: violations found = 1.
+func TestExitCodeViolations(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module splitio\n\ngo 1.22\n",
+		"internal/cache/cache.go": `package cache
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, options{root: root}); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestExitCodeParseError pins the exit-code contract: load/parse error = 2,
+// distinct from "violations found".
+func TestExitCodeParseError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                  "module splitio\n\ngo 1.22\n",
+		"internal/cache/cache.go": "package cache\n\nfunc Broken( {\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, options{root: root}); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestExitCodeUsageError: unknown analyzer names are usage errors (2), not
+// silently ignored.
+func TestExitCodeUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, options{enable: "nosuch", root: t.TempDir()}); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestSARIFOutput: an injected violation fails the run with exit 1 AND
+// produces a SARIF log carrying the finding (the CI annotation path).
+func TestSARIFOutput(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module splitio\n\ngo 1.22\n",
+		"internal/cache/cache.go": `package cache
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	sarifPath := filepath.Join(t.TempDir(), "out.sarif")
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, options{root: root, sarif: sarifPath}); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatalf("SARIF file not written: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output invalid: %v\n%s", err, data)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "splitlint" || len(run0.Tool.Driver.Rules) == 0 {
+		t.Errorf("missing driver metadata: %+v", run0.Tool.Driver)
+	}
+	if len(run0.Results) != 1 {
+		t.Fatalf("got %d SARIF results, want 1", len(run0.Results))
+	}
+	r := run0.Results[0]
+	if r.RuleID != "simclock" || r.Level != "error" ||
+		r.Locations[0].PhysicalLocation.ArtifactLocation.URI != "internal/cache/cache.go" ||
+		r.Locations[0].PhysicalLocation.Region.StartLine != 5 {
+		t.Errorf("unexpected SARIF result: %+v", r)
+	}
+}
+
+// TestWarnDowngrade: -warn reports the finding with a warning marker but
+// exits 0 — warn-tier findings never fail the build.
+func TestWarnDowngrade(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module splitio\n\ngo 1.22\n",
+		"internal/cache/cache.go": `package cache
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, options{root: root, warn: "simclock"}); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("[simclock] warning:")) {
+		t.Errorf("warn finding not rendered with warning marker: %s", stdout.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("1 warning(s)")) {
+		t.Errorf("stderr missing warning count: %s", stderr.String())
+	}
+}
+
+// TestEnableDisable: -enable selects a subset; -disable removes one.
+func TestEnableDisable(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module splitio\n\ngo 1.22\n",
+		"internal/cache/cache.go": `package cache
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	// Only simrand enabled: the simclock violation is not reported.
+	if code := run(&stdout, &stderr, options{root: root, enable: "simrand"}); code != 0 {
+		t.Fatalf("-enable simrand: exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	// simclock disabled: same result.
+	if code := run(&stdout, &stderr, options{root: root, disable: "simclock"}); code != 0 {
+		t.Fatalf("-disable simclock: exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestAuditCLI: -audit flags a directive that suppresses nothing.
+func TestAuditCLI(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module splitio\n\ngo 1.22\n",
+		"internal/cache/cache.go": `package cache
+
+//splitlint:ignore simclock nothing here reads a clock anymore
+const PageSize = 4096
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, options{root: root, audit: true}); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("[audit] stale ignore")) {
+		t.Errorf("audit finding missing: %s", stdout.String())
 	}
 }

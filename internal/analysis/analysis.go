@@ -1,9 +1,11 @@
 // Package analysis is splitlint: a static-analysis suite that enforces the
-// simulator's determinism contract. The paper's results depend on controlled,
-// repeatable schedules, and the reproduction substitutes a deterministic
-// discrete-event simulation for the kernel; these analyzers turn the rules
-// that make same-seed runs byte-identical into compiler-checked facts rather
-// than conventions:
+// simulator's determinism & performance contract. The paper's results depend
+// on controlled, repeatable schedules, and the reproduction substitutes a
+// deterministic discrete-event simulation for the kernel; these analyzers
+// turn the rules that make same-seed runs byte-identical into
+// compiler-checked facts rather than conventions.
+//
+// Per-file, syntactic rules:
 //
 //   - simclock: no wall-clock reads (time.Now/Since/Sleep/...) — virtual
 //     time comes from internal/sim only.
@@ -19,14 +21,32 @@
 //     downward along vfs → cache → fs → block → device, mirroring the
 //     paper's hook layering.
 //
+// Whole-program, call-graph-based rules (see callgraph.go):
+//
+//   - hotpurity: functions reachable from event-loop entry points (block
+//     elevator implementations, callbacks handed to sim.Env.Schedule /
+//     ScheduleAt / Completion.OnComplete, //splitlint:hot-marked functions)
+//     must not transitively block (channel ops, mutex locks, time.Sleep,
+//     syscalls) or spawn goroutines, and //splitlint:hot regions must not
+//     allocate.
+//   - timetaint: host-time values (time.Now/Since/Until and everything
+//     derived from them, e.g. perf.NowNS) must not flow — through
+//     assignments, returns, struct fields, or call arguments — into DES
+//     decisions (sim.Time values, event scheduling).
+//   - floatdet: no floating-point comparisons or stateful accumulation in
+//     event-ordering and scheduler-accounting packages, no fusable
+//     float multiply-add (FMA contraction differs across architectures),
+//     and no non-exactly-rounded math.* calls on sim-decision paths.
+//
 // Findings are reported as "file:line: [analyzer] message". A finding can be
 // suppressed with a directive on the same line or the line directly above:
 //
 //	//splitlint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// The reason is mandatory; a directive without one is itself reported. The
-// suite is stdlib-only (go/ast + go/types) and runs over the whole module in
-// one process so `make check` stays fast.
+// The reason is mandatory; a directive without one is itself reported, and
+// the audit mode (Options.Audit, splitlint -audit) reports directives that
+// no longer suppress anything. The suite is stdlib-only (go/ast + go/types)
+// and runs over the whole module in one process so `make check` stays fast.
 package analysis
 
 import (
@@ -41,6 +61,16 @@ import (
 	"strings"
 )
 
+// Severity tiers a finding for CI: error findings fail the build (exit 1),
+// warn findings are reported but do not affect the exit status.
+type Severity string
+
+// Severity tiers.
+const (
+	SeverityError Severity = "error"
+	SeverityWarn  Severity = "warn"
+)
+
 // Finding is one diagnostic produced by an analyzer.
 type Finding struct {
 	// File is the path of the offending file, relative to the module root.
@@ -48,19 +78,26 @@ type Finding struct {
 	// Line and Col are 1-based source coordinates.
 	Line int `json:"line"`
 	Col  int `json:"col"`
-	// Analyzer names the rule that fired (simclock, simrand, ...).
+	// Analyzer names the rule that fired (simclock, hotpurity, ...).
 	Analyzer string `json:"analyzer"`
+	// Severity is the finding's tier ("error" or "warn").
+	Severity Severity `json:"severity"`
 	// Message describes the violation.
 	Message string `json:"message"`
 }
 
 // String renders the finding in the canonical "file:line: [analyzer] message"
-// form used by the splitlint CLI.
+// form used by the splitlint CLI; warn-tier findings carry a "warning:"
+// marker so logs stay scannable.
 func (f Finding) String() string {
+	if f.Severity == SeverityWarn {
+		return fmt.Sprintf("%s:%d: [%s] warning: %s", f.File, f.Line, f.Analyzer, f.Message)
+	}
 	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
 }
 
-// Pass carries one package's parsed and type-checked state to an analyzer.
+// Pass carries one package's parsed and type-checked state to a per-package
+// analyzer.
 type Pass struct {
 	Fset *token.FileSet
 	// Path is the package's import path (e.g. "splitio/internal/cache").
@@ -81,14 +118,51 @@ func (p *Pass) Reportf(analyzer string, pos token.Pos, format string, args ...an
 	p.report(analyzer, pos, fmt.Sprintf(format, args...))
 }
 
-// Analyzer is one determinism rule.
+// Module carries the whole type-checked module to a whole-program analyzer.
+type Module struct {
+	Fset    *token.FileSet
+	Root    string
+	ModPath string
+	// Packages holds every loaded package, sorted by import path.
+	Packages []*Package
+
+	report func(pos token.Pos, msg string)
+}
+
+// Reportf records a finding for the running module analyzer at pos.
+func (m *Module) Reportf(pos token.Pos, format string, args ...any) {
+	m.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Lookup returns the loaded package with the given module-relative suffix
+// (e.g. "internal/sim"), or nil.
+func (m *Module) Lookup(rel string) *Package {
+	want := m.ModPath + "/" + rel
+	for _, pkg := range m.Packages {
+		if pkg.ImportPath == want {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// Analyzer is one determinism rule. Exactly one of Run (per-package) or
+// RunModule (whole-program) is set.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(p *Pass)
+	// Severity is the tier findings default to; the CLI can downgrade an
+	// analyzer to warn. Empty means SeverityError.
+	Severity Severity
+	// Run analyzes one package at a time.
+	Run func(p *Pass)
+	// RunModule analyzes the whole module at once (call-graph and taint
+	// analyses that must see across package boundaries).
+	RunModule func(m *Module)
 }
 
-// Analyzers returns the full splitlint suite in reporting order.
+// Analyzers returns the full splitlint suite in reporting order: the five
+// per-file analyzers, then the three interprocedural ones.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerSimClock,
@@ -96,21 +170,45 @@ func Analyzers() []*Analyzer {
 		AnalyzerMapOrder,
 		AnalyzerNoGoroutine,
 		AnalyzerLayerDep,
+		AnalyzerHotPurity,
+		AnalyzerTimeTaint,
+		AnalyzerFloatDet,
 	}
+}
+
+// AnalyzerByName returns the analyzer with the given name from Analyzers(),
+// or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
 }
 
 // ignoreDirective is one parsed //splitlint:ignore comment.
 type ignoreDirective struct {
-	analyzers map[string]bool
+	file      string
 	line      int // line the directive appears on
+	analyzers []string
 	malformed bool
+	// hits counts, per listed analyzer, how many findings the directive
+	// suppressed — the input to the stale-ignore audit.
+	hits map[string]int
 }
 
-const ignorePrefix = "//splitlint:ignore"
+const (
+	ignorePrefix = "//splitlint:ignore"
+	hotPrefix    = "//splitlint:hot"
+)
 
 // parseIgnores extracts all splitlint:ignore directives from a file.
-func parseIgnores(fset *token.FileSet, file *ast.File) []ignoreDirective {
-	var out []ignoreDirective
+// //splitlint:hot is a different directive (a region marker consumed by the
+// call-graph builder) and is not an ignore.
+func parseIgnores(fset *token.FileSet, file *ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	fname := fset.Position(file.Pos()).Filename
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(c.Text)
@@ -118,14 +216,13 @@ func parseIgnores(fset *token.FileSet, file *ast.File) []ignoreDirective {
 				continue
 			}
 			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-			d := ignoreDirective{line: fset.Position(c.Pos()).Line}
+			d := &ignoreDirective{file: fname, line: fset.Position(c.Pos()).Line, hits: map[string]int{}}
 			names, reason, _ := strings.Cut(rest, " ")
 			if names == "" || strings.TrimSpace(reason) == "" {
 				d.malformed = true
 			} else {
-				d.analyzers = map[string]bool{}
 				for _, n := range strings.Split(names, ",") {
-					d.analyzers[strings.TrimSpace(n)] = true
+					d.analyzers = append(d.analyzers, strings.TrimSpace(n))
 				}
 			}
 			out = append(out, d)
@@ -134,57 +231,98 @@ func parseIgnores(fset *token.FileSet, file *ast.File) []ignoreDirective {
 	return out
 }
 
-// suppressor answers "is this finding suppressed?" for one package.
+// suppressor answers "is this finding suppressed?" across the whole module
+// and tracks which directives actually suppressed something.
 type suppressor struct {
-	// byFile maps file path -> line -> set of suppressed analyzer names.
-	byFile map[string]map[int]map[string]bool
+	// byFile maps file path -> line -> directives covering that line.
+	byFile     map[string]map[int][]*ignoreDirective
+	directives []*ignoreDirective
+	malformed  []Finding
 }
 
-func newSuppressor(pass *Pass) (*suppressor, []Finding) {
-	s := &suppressor{byFile: map[string]map[int]map[string]bool{}}
-	var malformed []Finding
-	for _, f := range pass.Files {
-		fname := pass.Fset.Position(f.Pos()).Filename
-		for _, d := range parseIgnores(pass.Fset, f) {
+func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
+	s := &suppressor{byFile: map[string]map[int][]*ignoreDirective{}}
+	for _, f := range files {
+		for _, d := range parseIgnores(fset, f) {
 			if d.malformed {
-				malformed = append(malformed, Finding{
-					File:     fname, // relativized by the runner
+				s.malformed = append(s.malformed, Finding{
+					File:     d.file, // relativized by the runner
 					Line:     d.line,
 					Col:      1,
 					Analyzer: "splitlint",
+					Severity: SeverityError,
 					Message:  "malformed ignore directive (want //splitlint:ignore <analyzer> <reason>)",
 				})
 				continue
 			}
-			lines := s.byFile[fname]
+			s.directives = append(s.directives, d)
+			lines := s.byFile[d.file]
 			if lines == nil {
-				lines = map[int]map[string]bool{}
-				s.byFile[fname] = lines
+				lines = map[int][]*ignoreDirective{}
+				s.byFile[d.file] = lines
 			}
 			// A directive suppresses findings on its own line and on the
 			// line directly below (the standalone-comment-above form).
 			for _, ln := range []int{d.line, d.line + 1} {
-				set := lines[ln]
-				if set == nil {
-					set = map[string]bool{}
-					lines[ln] = set
-				}
-				for a := range d.analyzers {
-					set[a] = true
-				}
+				lines[ln] = append(lines[ln], d)
 			}
 		}
 	}
-	return s, malformed
+	return s
 }
 
 func (s *suppressor) suppressed(file string, line int, analyzer string) bool {
-	return s.byFile[file][line][analyzer]
+	hit := false
+	for _, d := range s.byFile[file][line] {
+		for _, a := range d.analyzers {
+			if a == analyzer {
+				d.hits[analyzer]++
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// stale returns one audit finding per directive analyzer that suppressed
+// nothing: stale ignores rot the contract, silently allowlisting lines that
+// stopped needing it (or never did).
+func (s *suppressor) stale() []Finding {
+	var out []Finding
+	for _, d := range s.directives {
+		for _, a := range d.analyzers {
+			if d.hits[a] == 0 {
+				out = append(out, Finding{
+					File:     d.file,
+					Line:     d.line,
+					Col:      1,
+					Analyzer: "audit",
+					Severity: SeverityError,
+					Message:  fmt.Sprintf("stale ignore: the directive suppresses no %s finding on this or the next line; delete it or the analyzer name", a),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Audit appends stale-ignore findings: //splitlint:ignore directives
+	// listing an analyzer that suppressed nothing. Only meaningful when the
+	// full analyzer suite runs (a directive for a disabled analyzer would
+	// otherwise read as stale).
+	Audit bool
 }
 
 // Run loads every package under root (a module root containing go.mod) and
 // applies the analyzers, returning findings sorted by file, line, analyzer.
 func Run(root string, analyzers []*Analyzer) ([]Finding, error) {
+	return RunOpts(root, analyzers, Options{})
+}
+
+// RunOpts is Run with Options.
+func RunOpts(root string, analyzers []*Analyzer, opts Options) ([]Finding, error) {
 	loader, err := NewLoader(root)
 	if err != nil {
 		return nil, err
@@ -193,28 +331,11 @@ func Run(root string, analyzers []*Analyzer) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
-	for _, pkg := range pkgs {
-		findings = append(findings, runPackage(loader, pkg, analyzers)...)
-	}
-	sortFindings(findings)
-	return dedup(findings), nil
-}
 
-func runPackage(loader *Loader, pkg *Package, analyzers []*Analyzer) []Finding {
-	pass := &Pass{
-		Fset:      loader.Fset,
-		Path:      pkg.ImportPath,
-		ModPath:   loader.ModPath,
-		Files:     pkg.Files,
-		TypesInfo: pkg.Info,
-		Pkg:       pkg.Types,
-	}
 	var raw []Finding
-	cur := ""
-	pass.report = func(analyzer string, pos token.Pos, msg string) {
-		if analyzer == "" {
-			analyzer = cur
+	report := func(analyzer string, sev Severity, pos token.Pos, msg string) {
+		if sev == "" {
+			sev = SeverityError
 		}
 		p := loader.Fset.Position(pos)
 		raw = append(raw, Finding{
@@ -222,26 +343,80 @@ func runPackage(loader *Loader, pkg *Package, analyzers []*Analyzer) []Finding {
 			Line:     p.Line,
 			Col:      p.Column,
 			Analyzer: analyzer,
+			Severity: sev,
 			Message:  msg,
 		})
 	}
-	sup, malformed := newSuppressor(pass)
-	raw = append(raw, malformed...)
-	for _, a := range analyzers {
-		cur = a.Name
-		a.Run(pass)
+
+	// Per-package analyzers.
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			Fset:      loader.Fset,
+			Path:      pkg.ImportPath,
+			ModPath:   loader.ModPath,
+			Files:     pkg.Files,
+			TypesInfo: pkg.Info,
+			Pkg:       pkg.Types,
+		}
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			a := a
+			pass.report = func(analyzer string, pos token.Pos, msg string) {
+				if analyzer == "" {
+					analyzer = a.Name
+				}
+				report(analyzer, a.Severity, pos, msg)
+			}
+			a.Run(pass)
+		}
 	}
+
+	// Whole-program analyzers.
+	mod := &Module{
+		Fset:     loader.Fset,
+		Root:     loader.Root,
+		ModPath:  loader.ModPath,
+		Packages: pkgs,
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a := a
+		mod.report = func(pos token.Pos, msg string) {
+			report(a.Name, a.Severity, pos, msg)
+		}
+		a.RunModule(mod)
+	}
+
+	// Suppression is module-wide: directives live in the file they govern,
+	// wherever the reporting analyzer ran from.
+	var allFiles []*ast.File
+	for _, pkg := range pkgs {
+		allFiles = append(allFiles, pkg.Files...)
+	}
+	sup := newSuppressor(loader.Fset, allFiles)
+	raw = append(raw, sup.malformed...)
+
 	var out []Finding
 	for _, f := range raw {
 		if sup.suppressed(f.File, f.Line, f.Analyzer) {
 			continue
 		}
-		if rel, err := filepath.Rel(loader.Root, f.File); err == nil {
-			f.File = filepath.ToSlash(rel)
-		}
 		out = append(out, f)
 	}
-	return out
+	if opts.Audit {
+		out = append(out, sup.stale()...)
+	}
+	for i := range out {
+		if rel, err := filepath.Rel(loader.Root, out[i].File); err == nil {
+			out[i].File = filepath.ToSlash(rel)
+		}
+	}
+	sortFindings(out)
+	return dedup(out), nil
 }
 
 func sortFindings(fs []Finding) {
@@ -275,10 +450,22 @@ func dedup(fs []Finding) []Finding {
 	return out
 }
 
+// CountBySeverity returns how many findings are error- and warn-tier.
+func CountBySeverity(fs []Finding) (errors, warns int) {
+	for _, f := range fs {
+		if f.Severity == SeverityWarn {
+			warns++
+		} else {
+			errors++
+		}
+	}
+	return errors, warns
+}
+
 // WriteFindings renders findings to w, one per line in the canonical text
 // form, or as a JSON array when asJSON is set. The JSON form is a stable
 // machine-readable contract: an array (never null) of objects with file,
-// line, col, analyzer, and message fields.
+// line, col, analyzer, severity, and message fields.
 func WriteFindings(w io.Writer, findings []Finding, asJSON bool) error {
 	if asJSON {
 		if findings == nil {

@@ -97,16 +97,93 @@ func TestLayerDepFixtures(t *testing.T) {
 	assertFindings(t, fixture(t, AnalyzerLayerDep, "layerdep/good"), nil)
 }
 
-// TestRepoIsClean runs the full suite over this module: the simulator's own
-// code must satisfy the determinism contract it enforces.
+func TestHotPurityFixtures(t *testing.T) {
+	assertFindings(t, fixture(t, AnalyzerHotPurity, "hotpurity/bad"), []string{
+		"internal/sched/myelv/myelv.go:30: [hotpurity] blocking call to sync.(*Mutex).Lock on the event-loop hot path: reachable via (*internal/sched/myelv.Elv).Next ((*internal/sched/myelv.Elv).Next is a block.Elevator implementation (scheduler dispatch/completion path))",
+		"internal/sched/myelv/myelv.go:49: [hotpurity] blocking call to time.Sleep on the event-loop hot path: reachable via (*internal/sched/myelv.Elv).Completed -> internal/block.KickAll -> (internal/sched/myelv.sleeper).Kick ((*internal/sched/myelv.Elv).Completed is a block.Elevator implementation (scheduler dispatch/completion path))",
+		"internal/sched/myelv/myelv.go:55: [hotpurity] go statement (goroutine spawn) on the event-loop hot path: reachable via internal/sched/myelv.Arm$1 (internal/sched/myelv.Arm$1 is a event-loop callback (sim.Env.Schedule / Completion.OnComplete))",
+		"internal/sched/myelv/myelv.go:68: [hotpurity] allocation in //splitlint:hot region internal/sched/myelv.refresh: make (heap allocation); preallocate outside the hot path",
+		"internal/util/util.go:6: [hotpurity] blocking channel send on the event-loop hot path: reachable via (*internal/sched/myelv.Elv).Add -> internal/util.Notify ((*internal/sched/myelv.Elv).Add is a block.Elevator implementation (scheduler dispatch/completion path))",
+	})
+	// The good fixture has blocking code (util.Drain, a blocking Env.Go
+	// process body) that no hot root reaches: reachability decides, not
+	// package membership.
+	assertFindings(t, fixture(t, AnalyzerHotPurity, "hotpurity/good"), nil)
+}
+
+func TestTimeTaintFixtures(t *testing.T) {
+	// Three flows, one finding each: a two-hop laundered timestamp
+	// (perf.NowNS -> util.Stamp -> sim.Time conversion), a direct
+	// host-duration Schedule argument, and a flow through a struct field
+	// written in one function and read in another.
+	assertFindings(t, fixture(t, AnalyzerTimeTaint, "timetaint/bad"), []string{
+		"internal/cache/cache.go:18: [timetaint] host-derived time value flows into a sim.Time conversion; DES decisions must use virtual time (sim.Env.Now)",
+		"internal/cache/cache.go:23: [timetaint] host-derived time value flows into argument #1 of (*internal/sim.Env).Schedule (a virtual-time/event-scheduling parameter); DES decisions must use virtual time (sim.Env.Now)",
+		"internal/cache/cache.go:33: [timetaint] host-derived time value flows into a sim.Time conversion; DES decisions must use virtual time (sim.Env.Now)",
+	})
+	// The good fixture reads host time in perf and keeps it host-side;
+	// source packages consuming their own values is not a violation.
+	assertFindings(t, fixture(t, AnalyzerTimeTaint, "timetaint/good"), nil)
+}
+
+func TestFloatDetFixtures(t *testing.T) {
+	assertFindings(t, fixture(t, AnalyzerFloatDet, "floatdet/bad"), []string{
+		"internal/sched/fx/fx.go:12: [floatdet] float equality comparison: accumulated rounding makes == / != unstable across platforms; compare integers or use an explicit epsilon with a reviewed ignore",
+		"internal/sched/fx/fx.go:18: [floatdet] float compound assignment accumulates rounding error into scheduler state; use integer units or carry a reviewed ignore explaining why the accumulation is platform-identical",
+		"internal/sched/fx/fx.go:18: [floatdet] fusable float multiply-add: the compiler may emit FMA on arm64/ppc64, changing results across platforms; wrap the product in float64(...) to force rounding",
+		"internal/sched/fx/fx.go:23: [floatdet] fusable float multiply-add: the compiler may emit FMA on arm64/ppc64, changing results across platforms; wrap the product in float64(...) to force rounding",
+		"internal/sched/fx/fx.go:28: [floatdet] math.Exp is not exactly rounded and differs across architectures; only exactly-rounded math functions (Sqrt, Abs, Floor, ...) are allowed on sim-decision paths",
+		"internal/sim/sim.go:6: [floatdet] float ordered comparison in an event-ordering package: a flipped branch reorders the event stream; order by integer (ns) quantities",
+	})
+	// The good fixture exercises the allowed forms: float64(x*y)+z, single
+	// rounded divisions, ordered comparisons in accounting and device-model
+	// packages, and exactly-rounded math.Sqrt.
+	assertFindings(t, fixture(t, AnalyzerFloatDet, "floatdet/good"), nil)
+}
+
+// TestAuditFixture: -audit reports each directive analyzer that suppressed
+// nothing, including the stale half of a two-analyzer directive.
+func TestAuditFixture(t *testing.T) {
+	root := filepath.Join("testdata", "src", "audit", "bad")
+	findings, err := RunOpts(root, Analyzers(), Options{Audit: true})
+	if err != nil {
+		t.Fatalf("RunOpts: %v", err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+	}
+	assertFindings(t, got, []string{
+		"internal/cache/cache.go:14: [audit] stale ignore: the directive suppresses no maporder finding on this or the next line; delete it or the analyzer name",
+		"internal/cache/cache.go:20: [audit] stale ignore: the directive suppresses no simrand finding on this or the next line; delete it or the analyzer name",
+	})
+}
+
+// TestRepoIsClean runs the full suite — including the interprocedural
+// analyzers and the stale-suppression audit — over this module: the
+// simulator's own code must satisfy the determinism contract it enforces,
+// and every //splitlint:ignore directive must still be earning its keep.
 func TestRepoIsClean(t *testing.T) {
 	root := filepath.Join("..", "..")
-	findings, err := Run(root, Analyzers())
+	findings, err := RunOpts(root, Analyzers(), Options{Audit: true})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	for _, f := range findings {
 		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestSeverityRendering pins the warn-tier text form and the severity
+// counter the CLI's exit code keys off.
+func TestSeverityRendering(t *testing.T) {
+	f := Finding{File: "a.go", Line: 3, Analyzer: "floatdet", Severity: SeverityWarn, Message: "m"}
+	if got, want := f.String(), "a.go:3: [floatdet] warning: m"; got != want {
+		t.Errorf("warn rendering: got %q, want %q", got, want)
+	}
+	errs, warns := CountBySeverity([]Finding{f, {Severity: SeverityError}, {}})
+	if errs != 2 || warns != 1 {
+		t.Errorf("CountBySeverity = (%d, %d), want (2, 1)", errs, warns)
 	}
 }
 

@@ -1,0 +1,25 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkSplitlintRepo measures a full whole-program analysis of this
+// repository — load, type-check, all eight analyzers including the
+// call-graph and taint fixpoints — so analyzer cost is tracked alongside
+// the sim hot paths in `make microbench`. One iteration is a full cold run;
+// the Makefile pins -benchtime=1x for this package.
+func BenchmarkSplitlintRepo(b *testing.B) {
+	root := filepath.Join("..", "..")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		findings, err := RunOpts(root, Analyzers(), Options{Audit: true})
+		if err != nil {
+			b.Fatalf("RunOpts: %v", err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("repo not clean: %d findings, first: %s", len(findings), findings[0])
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerFloatDet bans the floating-point patterns that break byte-identical
+// traces across platforms and compiler versions in the packages where FP
+// results feed simulator decisions.
+//
+// Go guarantees IEEE-754 semantics for individual float64 operations, so a
+// single rounded multiply or divide is deterministic everywhere. What is NOT
+// deterministic:
+//
+//   - FMA contraction: the spec permits fusing x*y + z into one
+//     fused-multiply-add when the operand is a product, and arm64/ppc64
+//     compilers do while amd64 does not — same source, different bits.
+//     Writing float64(x*y) + z forces the intermediate rounding and is
+//     portable. (Rule: fusable multiply-add.)
+//   - Library transcendentals: math.Exp/Pow/Sin/... are not required to be
+//     correctly rounded and differ between architectures' assembly
+//     implementations. Exactly-rounded operations (Sqrt, Abs, Floor, ...)
+//     are allowed. (Rule: non-exact math call.)
+//   - Accumulated error sensitivity: float comparisons driving control flow
+//     (==/!= anywhere in scope; also </<= in the event-ordering packages
+//     internal/sim and internal/block where a flipped branch reorders the
+//     event stream), and stateful accumulation (+= into persistent
+//     scheduler accounting), amplify any of the above into divergent
+//     schedules. Genuine, reviewed uses carry //splitlint:ignore floatdet
+//     with the argument for why the computation is platform-identical.
+//
+// Scope: internal/sim, internal/block (event ordering), internal/stride,
+// internal/tokenbucket, internal/sched/* (scheduler accounting); the
+// FMA/libm rules additionally cover internal/device and internal/core,
+// whose float service-time models feed event timestamps.
+var AnalyzerFloatDet = &Analyzer{
+	Name: "floatdet",
+	Doc:  "forbid nondeterministic floating-point patterns in event ordering and scheduler accounting",
+	Run:  runFloatDet,
+}
+
+// floatOrderingPkgs get the full rule set including ordered comparisons.
+var floatOrderingPkgs = []string{"internal/sim", "internal/block"}
+
+// floatAccountingPkgs get equality/accumulation/FMA/libm rules.
+var floatAccountingPkgs = []string{"internal/stride", "internal/tokenbucket", "internal/sched"}
+
+// floatModelPkgs get only the FMA/libm (bit-drift) rules: their float math
+// is fine as long as each operation is exactly rounded.
+var floatModelPkgs = []string{"internal/device", "internal/core"}
+
+// exactMathFuncs are the math package functions defined to be exactly
+// rounded (or exact predicates/constructors): safe on any platform.
+var exactMathFuncs = map[string]bool{
+	"Abs": true, "Ceil": true, "Floor": true, "Trunc": true, "Round": true,
+	"Sqrt": true, "Copysign": true, "Signbit": true, "Mod": true,
+	"Inf": true, "IsInf": true, "IsNaN": true, "NaN": true,
+	"Max": true, "Min": true, "MaxFloat64": true,
+	"Float64bits": true, "Float64frombits": true,
+	"Float32bits": true, "Float32frombits": true,
+}
+
+func floatScope(pass *Pass) (ordering, accounting, model bool) {
+	rel := strings.TrimPrefix(pass.Path, pass.ModPath+"/")
+	match := func(prefixes []string) bool {
+		for _, p := range prefixes {
+			if rel == p || strings.HasPrefix(rel, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	return match(floatOrderingPkgs), match(floatAccountingPkgs), match(floatModelPkgs)
+}
+
+func runFloatDet(pass *Pass) {
+	ordering, accounting, model := floatScope(pass)
+	if !ordering && !accounting && !model {
+		return
+	}
+	full := ordering || accounting // comparisons + accumulation apply
+
+	isFloat := func(e ast.Expr) bool {
+		if pass.TypesInfo == nil {
+			return false
+		}
+		t := pass.TypesInfo.Types[e].Type
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	// isProduct reports whether e (unparenthesized) is a float multiply —
+	// the fusable operand shape.
+	isProduct := func(e ast.Expr) bool {
+		be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+		return ok && be.Op == token.MUL && isFloat(be)
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				// For comparisons the expression types as bool; float-ness
+				// is checked on the operands in each case.
+				switch x.Op {
+				case token.EQL, token.NEQ:
+					if full && (isFloat(x.X) || isFloat(x.Y)) {
+						pass.Reportf("", x.Pos(), "float equality comparison: accumulated rounding makes == / != unstable across platforms; compare integers or use an explicit epsilon with a reviewed ignore")
+					}
+				case token.LSS, token.LEQ, token.GTR, token.GEQ:
+					if ordering && (isFloat(x.X) || isFloat(x.Y)) {
+						pass.Reportf("", x.Pos(), "float ordered comparison in an event-ordering package: a flipped branch reorders the event stream; order by integer (ns) quantities")
+					}
+				case token.ADD, token.SUB:
+					if isFloat(x) && (isProduct(x.X) || isProduct(x.Y)) {
+						pass.Reportf("", x.Pos(), "fusable float multiply-add: the compiler may emit FMA on arm64/ppc64, changing results across platforms; wrap the product in float64(...) to force rounding")
+					}
+				}
+			case *ast.AssignStmt:
+				if !full {
+					return true
+				}
+				switch x.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					for _, lhs := range x.Lhs {
+						if isFloat(lhs) {
+							pass.Reportf("", x.Pos(), "float compound assignment accumulates rounding error into scheduler state; use integer units or carry a reviewed ignore explaining why the accumulation is platform-identical")
+						}
+					}
+					// x += a*b is x = x + a*b: fusable exactly like the
+					// explicit form.
+					if (x.Tok == token.ADD_ASSIGN || x.Tok == token.SUB_ASSIGN) &&
+						len(x.Lhs) == 1 && isFloat(x.Lhs[0]) && isProduct(x.Rhs[0]) {
+						pass.Reportf("", x.Pos(), "fusable float multiply-add: the compiler may emit FMA on arm64/ppc64, changing results across platforms; wrap the product in float64(...) to force rounding")
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if qualifier(pass, file, sel) != "math" {
+					return true
+				}
+				if !exactMathFuncs[sel.Sel.Name] {
+					pass.Reportf("", x.Pos(), "math.%s is not exactly rounded and differs across architectures; only exactly-rounded math functions (Sqrt, Abs, Floor, ...) are allowed on sim-decision paths", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

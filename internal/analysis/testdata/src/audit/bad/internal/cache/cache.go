@@ -1,0 +1,22 @@
+package cache
+
+import "time"
+
+// used: the directive below suppresses a live simclock finding.
+func used() int64 {
+	//splitlint:ignore simclock fixture: deliberate host read to keep this directive live
+	return time.Now().UnixNano()
+}
+
+// halfStale: simclock still fires on the next line, but nothing here ever
+// triggered maporder — that half of the directive is stale.
+func halfStale() int64 {
+	//splitlint:ignore simclock,maporder fixture: maporder listed but never suppressed
+	return time.Now().UnixNano()
+}
+
+// stale: the directive suppresses nothing at all.
+func stale() int {
+	//splitlint:ignore simrand fixture: nothing on this line draws randomness
+	return 4
+}

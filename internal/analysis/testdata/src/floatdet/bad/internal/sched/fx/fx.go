@@ -1,0 +1,29 @@
+package fx
+
+import "math"
+
+// Acct is scheduler accounting state.
+type Acct struct {
+	total float64
+}
+
+// Equal compares floats exactly.
+func Equal(a, b float64) bool {
+	return a == b
+}
+
+// Charge accumulates into persistent float state, with a fusable
+// multiply-add in compound form.
+func (a *Acct) Charge(rate, dt float64) {
+	a.total += rate * dt
+}
+
+// Blend has the explicit fusable multiply-add shape.
+func Blend(x, y, z float64) float64 {
+	return x*y + z
+}
+
+// Decay uses a non-exactly-rounded libm call.
+func Decay(x float64) float64 {
+	return math.Exp(-x)
+}

@@ -1,0 +1,7 @@
+package sim
+
+// Before reports event order from float timestamps: an ordered float
+// comparison in an event-ordering package.
+func Before(a, b float64) bool {
+	return a < b
+}

@@ -1,0 +1,10 @@
+package device
+
+// Clamp's ordered float comparison is fine: device-model packages only get
+// the bit-drift (FMA/libm) rules.
+func Clamp(frac float64) float64 {
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}

@@ -1,0 +1,26 @@
+package fx
+
+import "math"
+
+// Share computes a fractional cost: single rounded operations are exactly
+// specified by IEEE-754 and deterministic everywhere.
+func Share(cost float64, n int) float64 {
+	return cost / float64(n)
+}
+
+// Blend forces the product to round, so no architecture can fuse it.
+func Blend(x, y, z float64) float64 {
+	return float64(x*y) + z
+}
+
+// Positive uses an ordered comparison: allowed in accounting packages
+// (banned only in the event-ordering packages internal/sim and
+// internal/block).
+func Positive(tokens float64) bool {
+	return tokens > 0
+}
+
+// Root uses an exactly-rounded math function.
+func Root(x float64) float64 {
+	return math.Sqrt(x)
+}

@@ -1,0 +1,6 @@
+package sim
+
+// Before orders events by integer nanoseconds.
+func Before(a, b int64) bool {
+	return a < b
+}

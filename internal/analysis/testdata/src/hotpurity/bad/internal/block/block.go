@@ -1,0 +1,28 @@
+package block
+
+import "splitio/internal/sim"
+
+// Request is a block-layer request.
+type Request struct {
+	LBA int64
+}
+
+// Elevator is the scheduler surface the block layer drives from inside the
+// event loop: implementations are hot-path roots.
+type Elevator interface {
+	Name() string
+	Add(r *Request)
+	Next(now sim.Time) *Request
+	Completed(r *Request)
+}
+
+// Kicker is dispatched dynamically from an elevator completion path; the
+// analyzer must resolve the interface call to module implementations.
+type Kicker interface {
+	Kick()
+}
+
+// KickAll reaches implementations only through interface dispatch.
+func KickAll(k Kicker) {
+	k.Kick()
+}

@@ -1,0 +1,70 @@
+package myelv
+
+import (
+	"sync"
+	"time"
+
+	"splitio/internal/block"
+	"splitio/internal/sim"
+	"splitio/internal/util"
+)
+
+// Elv implements block.Elevator; its methods are hot-path roots purely by
+// interface dispatch — no call site in this module names them.
+type Elv struct {
+	mu    sync.Mutex
+	queue []*block.Request
+	wake  chan int
+}
+
+func (e *Elv) Name() string { return "bad-elv" }
+
+// Add blocks two hops deep: Add -> util.Notify -> channel send.
+func (e *Elv) Add(r *block.Request) {
+	e.queue = append(e.queue, r)
+	util.Notify(e.wake)
+}
+
+// Next locks a mutex directly on the dispatch path.
+func (e *Elv) Next(now sim.Time) *block.Request {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.queue) == 0 {
+		return nil
+	}
+	r := e.queue[0]
+	e.queue = e.queue[1:]
+	return r
+}
+
+// Completed escapes through a second interface: Completed -> block.KickAll
+// -> Kicker.Kick (dynamic) -> sleeper.Kick -> time.Sleep.
+func (e *Elv) Completed(r *block.Request) {
+	block.KickAll(sleeper{})
+}
+
+type sleeper struct{}
+
+func (sleeper) Kick() {
+	time.Sleep(time.Millisecond)
+}
+
+// Arm registers a callback that spawns a goroutine inside the event loop.
+func Arm(env *sim.Env) {
+	env.Schedule(0, func() {
+		go drain(nil)
+	})
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// refresh is a hot region that allocates.
+//
+//splitlint:hot
+func refresh(n int) []int {
+	buf := make([]int, n)
+	return buf
+}

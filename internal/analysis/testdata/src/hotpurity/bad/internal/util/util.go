@@ -1,0 +1,7 @@
+package util
+
+// Notify is innocent per-file: only a whole-program pass sees that it is
+// reached from an elevator's Add.
+func Notify(ch chan int) {
+	ch <- 1
+}

@@ -1,0 +1,3 @@
+module splitio
+
+go 1.22

@@ -1,0 +1,16 @@
+package block
+
+import "splitio/internal/sim"
+
+// Request is a block-layer request.
+type Request struct {
+	LBA int64
+}
+
+// Elevator implementations are hot-path roots.
+type Elevator interface {
+	Name() string
+	Add(r *Request)
+	Next(now sim.Time) *Request
+	Completed(r *Request)
+}

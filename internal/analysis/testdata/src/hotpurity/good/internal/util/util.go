@@ -1,0 +1,13 @@
+package util
+
+// Drain blocks, but nothing on the hot path reaches it: reachability, not
+// package location, decides.
+func Drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// Cost is pure and hot-path-safe.
+func Cost(n int) int {
+	return n * 3
+}

@@ -1,0 +1,34 @@
+package cache
+
+import (
+	"time"
+
+	"splitio/internal/sim"
+	"splitio/internal/util"
+)
+
+// Rec carries a host timestamp in a plain int64 field.
+type Rec struct {
+	when int64
+}
+
+// Deadline converts a two-hop host timestamp into virtual time.
+func Deadline(env *sim.Env) {
+	t := util.Stamp()
+	env.ScheduleAt(sim.Time(t), func() {})
+}
+
+// Delay feeds a host-measured duration into event scheduling.
+func Delay(env *sim.Env, start time.Time) {
+	env.Schedule(time.Since(start), func() {})
+}
+
+// Record stores host time into a struct field...
+func Record(r *Rec) {
+	r.when = util.Stamp()
+}
+
+// Replay ...and the field read resurfaces it as an event timestamp.
+func Replay(env *sim.Env, r *Rec) {
+	env.ScheduleAt(sim.Time(r.when), func() {})
+}

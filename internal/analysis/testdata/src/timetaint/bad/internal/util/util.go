@@ -1,0 +1,9 @@
+package util
+
+import "splitio/internal/perf"
+
+// Stamp launders a host timestamp through a second package: only the
+// interprocedural summary sees through it.
+func Stamp() int64 {
+	return perf.NowNS()
+}

@@ -1,0 +1,23 @@
+package cache
+
+import (
+	"splitio/internal/perf"
+	"splitio/internal/sim"
+)
+
+// Stats keeps host-side profiling data that never reaches the simulator.
+type Stats struct {
+	hostNS int64
+}
+
+// Tick derives the next event time from virtual time only.
+func Tick(env *sim.Env) {
+	next := env.Now() + sim.Time(10)
+	env.ScheduleAt(next, func() {})
+}
+
+// Profile records host time into host-side stats: fine, no DES decision
+// depends on it.
+func Profile(s *Stats) {
+	s.hostNS += perf.NowNS()
+}

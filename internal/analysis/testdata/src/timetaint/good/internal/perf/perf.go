@@ -1,0 +1,16 @@
+package perf
+
+import "time"
+
+var base = time.Now()
+
+// NowNS reads the host clock for self-profiling.
+func NowNS() int64 {
+	return int64(time.Since(base))
+}
+
+// Span measures host time and keeps it host-side: source packages may
+// consume their own values freely.
+func Span(start int64) int64 {
+	return NowNS() - start
+}

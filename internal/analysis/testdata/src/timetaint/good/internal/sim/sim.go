@@ -1,0 +1,13 @@
+package sim
+
+import "time"
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Env is a stub of the DES environment.
+type Env struct{ now Time }
+
+func (e *Env) Now() Time                           { return e.now }
+func (e *Env) Schedule(d time.Duration, fn func()) { _ = d; _ = fn }
+func (e *Env) ScheduleAt(at Time, fn func())       { _ = at; _ = fn }

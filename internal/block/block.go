@@ -257,6 +257,11 @@ func (l *Layer) Kick() {
 	}
 }
 
+// dispatcher is the block layer's dispatch loop: every request the module
+// simulates flows through this body, so it is the first target of the
+// flat-event-loop rewrite (ROADMAP item 1) and must stay allocation-free.
+//
+//splitlint:hot
 func (l *Layer) dispatcher(p *sim.Proc) {
 	for {
 		// The elevator's pick and the disk model's service-time computation

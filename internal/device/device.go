@@ -180,7 +180,10 @@ func sqrt(x float64) float64 {
 	// keeps the model dependency-free.
 	z := x
 	for i := 0; i < 20; i++ {
-		z -= (z*z - x) / (2 * z)
+		// float64(z*z) forces the product to round before the subtraction,
+		// so no architecture may fuse it into an FMA and drift the seek
+		// profile across platforms.
+		z -= (float64(z*z) - x) / (2 * z)
 	}
 	return z
 }

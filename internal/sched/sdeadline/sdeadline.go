@@ -162,7 +162,10 @@ func (s *Sched) bufferDirty(ino, idx int64, now causes.Set, prev causes.Set) {
 		if d > 64 {
 			isRand = 1.0
 		}
-		st.randFrac = 0.9*st.randFrac + 0.1*isRand
+		// float64(...) forces the intermediate rounding so no platform can
+		// fuse the multiply-add (identical results on amd64, which never
+		// fuses, and arm64, which otherwise would).
+		st.randFrac = float64(0.9*st.randFrac) + float64(0.1*isRand)
 	}
 	st.lastIdx = idx
 	st.seen = true
@@ -174,7 +177,11 @@ func (s *Sched) pageCost(ino int64) time.Duration {
 	if st, ok := s.files[ino]; ok {
 		frac = st.randFrac
 	}
-	return time.Duration(frac*float64(s.randCost) + (1-frac)*float64(s.seqCost))
+	// Explicit rounding of each product keeps the blend FMA-free and
+	// bit-identical across architectures.
+	rand := float64(frac * float64(s.randCost))
+	seq := float64((1 - frac) * float64(s.seqCost))
+	return time.Duration(rand + seq)
 }
 
 // fsyncCost estimates the device time an fsync of file would force: its own

@@ -185,6 +185,7 @@ func (s *Sched) bufferDirty(ino, idx int64, now causes.Set, prev causes.Set) {
 		return
 	}
 	b.Charge(s.env.Now(), amt)
+	//splitlint:ignore floatdet reviewed: diagnostic total of exactly-rounded charges in deterministic order
 	s.statPrelim += amt
 	s.prelim[pageKey{ino, idx}] = prelimCharge{account: acct, amount: amt}
 }
@@ -194,6 +195,7 @@ func (s *Sched) bufferFree(ino, idx int64, cs causes.Set) {
 	if pc, ok := s.prelim[key]; ok {
 		if b, ok := s.accounts[pc.account]; ok {
 			b.Refund(s.env.Now(), pc.amount)
+			//splitlint:ignore floatdet reviewed: diagnostic total of exactly-rounded refunds in deterministic order
 			s.statRefunds += pc.amount
 		}
 		delete(s.prelim, key)
@@ -328,6 +330,7 @@ func (s *Sched) Completed(r *block.Request) {
 	if r.Op == device.Read {
 		if b, _ := s.bucketOf(r.Causes); b != nil {
 			b.Charge(s.env.Now(), actual)
+			//splitlint:ignore floatdet reviewed: diagnostic total of exactly-rounded charges in deterministic order
 			s.statRevised += actual
 		}
 		// Anticipate the stream's next sequential read.
@@ -346,6 +349,7 @@ func (s *Sched) Completed(r *block.Request) {
 	for _, idx := range r.Pages {
 		key := pageKey{r.FileID, idx}
 		if pc, ok := s.prelim[key]; ok {
+			//splitlint:ignore floatdet reviewed: sums charges recorded in deterministic page order; exactly-rounded
 			prelimSum += pc.amount
 			prelimAccount = pc.account
 			delete(s.prelim, key)
@@ -364,6 +368,7 @@ func (s *Sched) Completed(r *block.Request) {
 	} else {
 		b.Refund(s.env.Now(), -delta)
 	}
+	//splitlint:ignore floatdet reviewed: diagnostic total of exactly-rounded charges in deterministic order
 	s.statRevised += actual
 }
 

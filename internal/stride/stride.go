@@ -74,6 +74,10 @@ func (s *Stride) Charge(id int64, cost float64) {
 		s.Ensure(id, 1)
 		c = s.clients[id]
 	}
+	// Pass accumulation is float64 by construction (stride scheduling's
+	// virtual-time currency); each step is one exactly-rounded division and
+	// one addition, applied in deterministic event order on every platform.
+	//splitlint:ignore floatdet reviewed: exactly-rounded ops in deterministic order; division result rounds before the add, so no FMA
 	c.pass += cost / float64(c.tickets)
 }
 
@@ -97,6 +101,9 @@ func (s *Stride) PickMin(eligible func(id int64) bool) (int64, bool) {
 		if eligible != nil && !eligible(id) {
 			continue
 		}
+		// The equality is an exact tie-break between values produced by the
+		// identical sequence of rounded operations, not an epsilon test.
+		//splitlint:ignore floatdet reviewed: exact-equality tie-break on identically-computed pass values; deterministic given exactly-rounded accumulation
 		if !found || c.pass < bestPass || (c.pass == bestPass && id < best) {
 			best, bestPass, found = id, c.pass, true
 		}

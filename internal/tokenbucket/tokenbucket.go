@@ -33,7 +33,13 @@ func (b *Bucket) refill(now sim.Time) {
 	if now <= b.last {
 		return
 	}
-	b.tokens += b.rate * now.Sub(b.last).Seconds()
+	// Token balances are float64 by design (the split schedulers charge
+	// fractional shares); every operation is exactly rounded IEEE-754 and
+	// the accumulation order is fixed by the deterministic event order, so
+	// results are platform-identical. float64(...) forces the product to
+	// round before the add so no architecture fuses it into an FMA.
+	//splitlint:ignore floatdet reviewed: exactly-rounded ops in deterministic order; product explicitly rounded to preclude FMA
+	b.tokens += float64(b.rate * now.Sub(b.last).Seconds())
 	if b.tokens > b.cap {
 		b.tokens = b.cap
 	}
@@ -49,6 +55,7 @@ func (b *Bucket) Tokens(now sim.Time) float64 {
 // Charge deducts n tokens at now; the balance may go negative.
 func (b *Bucket) Charge(now sim.Time, n float64) {
 	b.refill(now)
+	//splitlint:ignore floatdet reviewed: single exactly-rounded subtraction; order fixed by deterministic event order
 	b.tokens -= n
 }
 
@@ -56,6 +63,7 @@ func (b *Bucket) Charge(now sim.Time, n float64) {
 // cheaper than estimated).
 func (b *Bucket) Refund(now sim.Time, n float64) {
 	b.refill(now)
+	//splitlint:ignore floatdet reviewed: single exactly-rounded addition; order fixed by deterministic event order
 	b.tokens += n
 	if b.tokens > b.cap {
 		b.tokens = b.cap

@@ -1,8 +1,9 @@
 # Tier-1 verification plus static and race checks.
 #
-#   make check       vet + lint + build + tests + race + fuzz corpora + crash-consistency smoke + report
+#   make check       vet + lint + build + tests + race + fuzz corpora + crash-consistency smoke + gcsweep + report
 #   make lint        splitlint determinism-contract analyzers (see DESIGN.md)
 #   make crashsweep  fault-injected crash sweep; fails on any invariant violation
+#   make gcsweep     GC-inversion sweep on an aged FTL SSD; fails if gc-afq inverts
 #   make report      latency-attribution report; fails on split-scheduler inversions
 #   make fuzz        checked-in fuzz corpora in regression mode (no exploration)
 #   make cover       coverage profile + HTML; fails if total drops below coverage-baseline.txt
@@ -15,9 +16,9 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: check build test vet race bench microbench lint fuzz cover crashsweep report
+.PHONY: check build test vet race bench microbench lint fuzz cover crashsweep gcsweep report
 
-check: vet lint build test race fuzz crashsweep report
+check: vet lint build test race fuzz crashsweep gcsweep report
 
 # The full interprocedural suite (call graph + taint fixpoints) is the
 # slowest static check, so the wall time is echoed to stderr; the SARIF
@@ -53,7 +54,7 @@ bench:
 # iteration, so it gets its own -benchtime=1x invocation rather than
 # joining the 1000x hot-path line.
 microbench:
-	$(GO) test -bench=. -benchtime=1000x -run '^$$' ./internal/sim ./internal/cache ./internal/perf
+	$(GO) test -bench=. -benchtime=1000x -run '^$$' ./internal/sim ./internal/cache ./internal/perf ./internal/ssd
 	$(GO) test -bench=BenchmarkSplitlintRepo -benchtime=1x -run '^$$' ./internal/analysis
 
 # Replays the checked-in seed corpora (testdata/fuzz/...) without fuzzing:
@@ -73,6 +74,12 @@ cover:
 
 crashsweep:
 	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) crashsweep
+
+# GC-inversion demonstration on a steady-state-aged FTL SSD: CFQ must show
+# gc-stall inversions (the phenomenon) and gc-afq must show none (the fix);
+# either failing is a violation that exits nonzero.
+gcsweep:
+	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) gcsweep
 
 # Runs the entangled antagonist workload under noop/cfq/afq, writes the
 # blame-table report (the CI artifact), and exits nonzero if any split

@@ -50,7 +50,7 @@ var floatAccountingPkgs = []string{"internal/stride", "internal/tokenbucket", "i
 
 // floatModelPkgs get only the FMA/libm (bit-drift) rules: their float math
 // is fine as long as each operation is exactly rounded.
-var floatModelPkgs = []string{"internal/device", "internal/core"}
+var floatModelPkgs = []string{"internal/device", "internal/ssd", "internal/core"}
 
 // exactMathFuncs are the math package functions defined to be exactly
 // rounded (or exact predicates/constructors): safe on any platform.

@@ -13,6 +13,9 @@ import (
 // wraps the disk model). An import from layer A to layer B is legal only
 // when B is strictly deeper than A — downward imports may skip layers (the
 // framework hooks all levels), but nothing may import upward or sideways.
+// The FTL SSD model (ssd) sits between fault and device: it implements the
+// Disk contract device defines, so it imports device but nothing imports it
+// except composition roots.
 var layerRank = map[string]int{
 	"vfs":    0,
 	"cache":  1,
@@ -21,10 +24,11 @@ var layerRank = map[string]int{
 	"fs":     4,
 	"block":  5,
 	"fault":  6,
-	"device": 7,
+	"ssd":    7,
+	"device": 8,
 }
 
-var layerOrder = "vfs → cache → attr → crash → fs → block → fault → device"
+var layerOrder = "vfs → cache → attr → crash → fs → block → fault → ssd → device"
 
 // layerOf returns the layer name for an import path, or "" if the path is
 // not one of the layer packages. Only the exact packages participate;

@@ -30,6 +30,12 @@ import (
 // reports blame and inversions for user requests only.
 const userPIDBase = 100
 
+// gcPID is the FTL SSD garbage collector's pseudo-PID (internal/ssd emits
+// its migration and erase spans under it). GC-stall inversions are the one
+// case where the culprit is a kernel-side actor rather than a user
+// process: the detector names it explicitly instead of filtering it out.
+const gcPID causes.PID = 4
+
 // Bounds on online state, so attribution memory is O(1) in run length.
 const (
 	maxOpenReqs       = 4096 // in-flight request states before oldest-eviction
@@ -84,10 +90,15 @@ const (
 	// writeback task drained pages owned by other processes (delegation,
 	// §2.3.1).
 	KindWriteback
+	// KindGCStall: a sync request waited on a flash die held by the FTL's
+	// garbage collector — device-internal background work entangled with a
+	// foreground durability path (the scenario class the flat SSD model
+	// cannot produce).
+	KindGCStall
 	numKinds
 )
 
-var kindNames = [numKinds]string{"txn-commit", "ordered-flush", "writeback-delegation"}
+var kindNames = [numKinds]string{"txn-commit", "ordered-flush", "writeback-delegation", "gc-stall"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -97,7 +108,9 @@ func (k Kind) String() string {
 }
 
 // Kinds lists every inversion kind in report order.
-func Kinds() []Kind { return []Kind{KindTxnCommit, KindOrderedFlush, KindWriteback} }
+func Kinds() []Kind {
+	return []Kind{KindTxnCommit, KindOrderedFlush, KindWriteback, KindGCStall}
+}
 
 // Inversion is one detected interval where a request's critical path ran
 // through work billed to another process.
@@ -221,6 +234,10 @@ func (a *Attribution) Consume(ev trace.Event) {
 		a.detectCommit(ev)
 	case ev.Op == trace.OpQueue:
 		a.addCat(ev.Req, CatQueue, ev.Dur())
+	case ev.Op == trace.OpGCWait:
+		// Detection only: the stall is inside the service span, which the
+		// device cases below already bill to CatDevice.
+		a.detectGCStall(ev)
 	case ev.Op == trace.OpService || ev.Op == trace.OpPosition || ev.Op == trace.OpTransfer:
 		a.addCat(ev.Req, CatDevice, ev.Dur())
 	case ev.Op == trace.OpFlushData:
@@ -442,6 +459,37 @@ func (a *Attribution) detectWriteback(ev trace.Event) {
 			Kind: KindWriteback, Victim: victim, Culprit: pid,
 			Layer: trace.LayerCache, Dur: d, At: ev.Start, Req: ev.Req,
 		})
+	})
+}
+
+// detectGCStall flags GC entanglement on a gc-wait span: a sync request's
+// device service was extended by the garbage collector holding its die.
+// The victim is the submitter when it is a user process; journal writes
+// are submitted by jbd, so the detector falls back to the first user PID
+// in the request's cause set (whose durability the commit serves). The
+// culprit is the GC pseudo-process itself — device-internal work, not any
+// user process, which is exactly what makes the inversion invisible to
+// cause-blind schedulers.
+func (a *Attribution) detectGCStall(ev trace.Event) {
+	if ev.Dur() <= 0 || !ev.Flags.Has(trace.FlagSync) {
+		return
+	}
+	victim := ev.PID
+	if victim < userPIDBase {
+		victim = 0
+		for _, pid := range ev.Causes.PIDs() {
+			if pid >= userPIDBase {
+				victim = pid
+				break
+			}
+		}
+		if victim == 0 {
+			return
+		}
+	}
+	a.record(Inversion{
+		Kind: KindGCStall, Victim: victim, Culprit: gcPID,
+		Layer: trace.LayerDevice, Dur: ev.Dur(), At: ev.Start, Req: ev.Req,
 	})
 }
 

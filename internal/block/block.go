@@ -197,9 +197,13 @@ func (l *Layer) SubmitAndWait(p *sim.Proc, r *Request) {
 
 // traceRequest emits the block- and device-layer spans of one completed
 // request: the queue span (submission to dispatch, labeled with the
-// elevator) and the device service, split into positioning and transfer
-// when the disk model reports a breakdown.
-func (l *Layer) traceRequest(r *Request, pos, xfer time.Duration) {
+// elevator), a gc-wait span when the disk model reports that part of the
+// service was spent behind its garbage collector, and the device service,
+// split into positioning and transfer when the disk model reports a
+// breakdown. The gc-wait span overlaps the service span (the stall is part
+// of the service) — it is detection metadata for attr, not a latency
+// category of its own.
+func (l *Layer) traceRequest(r *Request, pos, xfer, gcStall time.Duration) {
 	flags := requestFlags(r)
 	l.tr.Record(trace.Event{
 		Layer: trace.LayerBlock, Op: trace.OpQueue, Label: l.elv.Name(),
@@ -207,6 +211,14 @@ func (l *Layer) traceRequest(r *Request, pos, xfer time.Duration) {
 		Start: r.Queued, End: r.Start, Depth: int64(r.QDepth),
 		Ino: r.FileID, LBA: r.LBA, Blocks: r.Blocks, Flags: flags,
 	})
+	if gcStall > 0 {
+		l.tr.Record(trace.Event{
+			Layer: trace.LayerDevice, Op: trace.OpGCWait, Label: l.disk.Name(),
+			Req: r.Req, PID: r.Submitter, Causes: r.Causes, Prio: r.Prio,
+			Start: r.Start, End: r.Start.Add(gcStall),
+			Ino: r.FileID, LBA: r.LBA, Blocks: r.Blocks, Flags: flags,
+		})
+	}
 	dev := trace.Event{
 		Layer: trace.LayerDevice, Op: trace.OpService, Label: l.disk.Name(),
 		Req: r.Req, PID: r.Submitter, Causes: r.Causes, Prio: r.Prio,
@@ -291,13 +303,17 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 		pt = perf.Begin(perf.BucketDevice)
 		svc := l.disk.ServiceTime(r.Op, r.LBA, r.Blocks, time.Duration(p.Now()), r.Barrier)
 		perf.End(perf.BucketDevice, pt)
-		var pos, xfer time.Duration
+		var pos, xfer, gcStall time.Duration
 		traced := l.tr.Enabled()
 		if traced {
-			// Capture the positioning/transfer split now: the disk model's
-			// breakdown state is overwritten by the next ServiceTime call.
+			// Capture the positioning/transfer split and GC stall now: the
+			// disk model's per-request state is overwritten by the next
+			// ServiceTime call.
 			if bd, ok := l.disk.(device.Breakdowner); ok {
 				pos, xfer = bd.Breakdown()
+			}
+			if gs, ok := l.disk.(device.GCStaller); ok {
+				gcStall = gs.GCStall()
 			}
 		}
 		p.Sleep(svc)
@@ -315,7 +331,7 @@ func (l *Layer) dispatcher(p *sim.Proc) {
 			l.hooks.BlockCompleted(r)
 		}
 		if traced {
-			l.traceRequest(r, pos, xfer)
+			l.traceRequest(r, pos, xfer, gcStall)
 		}
 		r.done.Complete()
 	}

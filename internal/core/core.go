@@ -20,6 +20,7 @@ import (
 	"splitio/internal/ioctx"
 	"splitio/internal/metrics"
 	"splitio/internal/sim"
+	"splitio/internal/ssd"
 	"splitio/internal/trace"
 	"splitio/internal/vfs"
 )
@@ -51,8 +52,9 @@ type DiskKind string
 
 // Disk kinds.
 const (
-	HDD DiskKind = "hdd"
-	SSD DiskKind = "ssd"
+	HDD    DiskKind = "hdd"
+	SSD    DiskKind = "ssd"    // flat-latency flash model
+	FTLSSD DiskKind = "ftlssd" // channel/die + page-mapped FTL + background GC
 )
 
 // FSKind selects the file-system integration level.
@@ -75,6 +77,8 @@ type Options struct {
 	Cache *cache.Config
 	// FSConfig overrides the file-system config when non-nil.
 	FSConfig *fs.Config
+	// SSD overrides the FTL SSD geometry when non-nil (Disk == FTLSSD).
+	SSD *ssd.Config
 	// Tracer, when non-nil, is installed on every layer so cross-layer
 	// request trees are recorded (it must be Enabled by the caller; an
 	// enabled tracer shared across kernels interleaves their events).
@@ -140,6 +144,12 @@ func NewKernelOn(env *sim.Env, opts Options, factory Factory) *Kernel {
 	switch opts.Disk {
 	case SSD:
 		disk = device.NewSSD()
+	case FTLSSD:
+		scfg := ssd.DefaultConfig()
+		if opts.SSD != nil {
+			scfg = *opts.SSD
+		}
+		disk = ssd.New(env, scfg)
 	default:
 		disk = device.NewHDD()
 	}
@@ -182,6 +192,10 @@ func NewKernelOn(env *sim.Env, opts Options, factory Factory) *Kernel {
 		tr = trace.New()
 	}
 	blk.SetTracer(tr)
+	if sd, ok := disk.(*ssd.Device); ok {
+		// The FTL emits its GC migration/erase spans itself.
+		sd.SetTracer(tr)
+	}
 	pc.SetTracer(tr)
 	filesystem.SetTracer(tr)
 	v.SetTracer(tr)
@@ -233,6 +247,9 @@ func (k *Kernel) registerGauges() {
 	r.Gauge("sim.events", func() float64 { return float64(k.Env.Stats().Events) })
 	r.Gauge("sim.switches", func() float64 { return float64(k.Env.Stats().Switches) })
 	r.Gauge("sim.heap_max", func() float64 { return float64(k.Env.Stats().HeapMax) })
+	if sd, ok := k.Disk.(*ssd.Device); ok {
+		sd.RegisterMetrics(r)
+	}
 	if k.Fault != nil {
 		k.Fault.RegisterMetrics(r)
 	}
@@ -264,9 +281,11 @@ func (k *Kernel) SeqPageCost() time.Duration {
 // RandPageCost returns the approximate device time for one random-page
 // access, the quantity cost models need for randomness penalties.
 func (k *Kernel) RandPageCost() time.Duration {
-	switch k.Disk.(type) {
+	switch d := k.Disk.(type) {
 	case *device.SSD:
 		return 130 * time.Microsecond
+	case *ssd.Device:
+		return d.RandPageCost()
 	default:
 		return 12 * time.Millisecond
 	}

@@ -1,8 +1,20 @@
-// Package device models storage devices for the simulated stack: a hard
-// disk with a distance-dependent seek model plus rotational latency (after
-// Ruemmler & Wilkes), and a flash SSD with flat access latency. These models
-// supply the random-vs-sequential cost asymmetry that every scheduler in the
-// paper estimates, charges for, or exploits.
+// Package device models storage devices for the simulated stack. Three
+// models implement the Disk interface:
+//
+//   - HDD: a mechanical disk with a distance-dependent seek model plus
+//     rotational latency (after Ruemmler & Wilkes).
+//   - SSD: a flash device with flat access latency and a modest write
+//     penalty — the degenerate single-channel, single-die case.
+//   - the FTL-backed SSD in internal/ssd: channel/die parallelism, a
+//     page-mapped translation layer, and background garbage collection,
+//     for experiments where GC-induced stalls matter.
+//
+// The first two live here; internal/ssd is its own package — one step
+// above this one in the layer DAG, importing the Disk contract defined
+// here — because it is a subsystem (FTL state machine plus a collector
+// process), not a latency formula. Together the models supply
+// the random-vs-sequential and foreground-vs-background cost asymmetries
+// that every scheduler in the paper estimates, charges for, or exploits.
 //
 // All addressing is in 4 KiB blocks (matching the page size used by the
 // cache and file-system layers).
@@ -100,6 +112,16 @@ type Breakdowner interface {
 	// ServiceTime call. Like ServiceTime itself, it reflects dispatch-order
 	// state: read it before the next request is served.
 	Breakdown() (position, transfer time.Duration)
+}
+
+// GCStaller is implemented by disk models whose internal background work
+// (flash garbage collection) can delay foreground requests. GCStall
+// returns the portion of the last ServiceTime spent waiting on resources
+// held by that background work. Like Breakdown, it reflects dispatch-order
+// state: read it before the next request is served. The block layer uses
+// it to emit a gc-wait span the attr inversion detector can act on.
+type GCStaller interface {
+	GCStall() time.Duration
 }
 
 // HDD is a mechanical hard-disk model.

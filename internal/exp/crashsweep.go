@@ -17,7 +17,7 @@ import (
 // order (every entry of the factories map).
 var crashSchedulers = []string{
 	"noop", "cfq", "block-deadline", "scs-token",
-	"afq", "split-deadline", "split-pdflush", "split-token",
+	"afq", "gc-afq", "split-deadline", "split-pdflush", "split-token",
 }
 
 // crashCellResult is one (scheduler, fs, disk) cell's payload: everything
@@ -34,13 +34,16 @@ type crashCellResult struct {
 
 // CrashSweep runs a fault-injected workload mix (fsync appends, random
 // write+fsync, sequential streaming, metadata creates) under every scheduler
-// on {ext4sim, cowsim} x {HDD, SSD}, then sweeps crash images over each run's
-// persistence log and checks the durability invariants. Power cuts and torn
+// on {ext4sim, cowsim} x {HDD, SSD, FTL SSD}, then sweeps crash images over
+// each run's persistence log and checks the durability invariants. The FTL
+// rows also pin composition: the fault wrapper's annotation/durability
+// surfaces and the FTL's GC must not disturb each other (GC migrations are
+// device-internal and never appear as media writes in the log). Power cuts and torn
 // writes are legal device behavior, so a correct stack yields zero
 // violations on every row — that is the acceptance gate `make crashsweep`
 // enforces.
 //
-// The 32 (fs, disk, scheduler) cells are independent simulations, so they
+// The (fs, disk, scheduler) cells are independent simulations, so they
 // dispatch through Options.Runner; rows merge back in the canonical
 // fs-disk-scheduler order regardless of which worker finishes first.
 func CrashSweep(o Options) *Table {
@@ -64,7 +67,7 @@ func CrashSweep(o Options) *Table {
 	var cells []sweep.Cell
 	idx := int64(0)
 	for _, fsKind := range []core.FSKind{core.Ext4, core.COW} {
-		for _, disk := range []core.DiskKind{core.HDD, core.SSD} {
+		for _, disk := range []core.DiskKind{core.HDD, core.SSD, core.FTLSSD} {
 			for _, sched := range crashSchedulers {
 				idx++
 				id := cellID{sched, fsKind, disk}

@@ -18,6 +18,7 @@ import (
 	"splitio/internal/sched/afq"
 	"splitio/internal/sched/bdeadline"
 	"splitio/internal/sched/cfq"
+	"splitio/internal/sched/gcafq"
 	"splitio/internal/sched/noop"
 	"splitio/internal/sched/scstoken"
 	"splitio/internal/sched/sdeadline"
@@ -137,6 +138,7 @@ var All = []Experiment{
 	{"table3", "Deadline settings", Table3},
 	{"crashsweep", "Crash-consistency sweep (fault plane)", CrashSweep},
 	{"inversion", "Latency attribution and inversion detection", InversionExp},
+	{"gcsweep", "GC-induced inversions on an aged FTL SSD", GCSweep},
 }
 
 // ByID returns the experiment with the given ID.
@@ -156,6 +158,7 @@ var factories = map[string]core.Factory{
 	"block-deadline": bdeadline.Factory,
 	"scs-token":      scstoken.Factory,
 	"afq":            afq.Factory,
+	"gc-afq":         gcafq.Factory,
 	"split-deadline": sdeadline.Factory,
 	"split-pdflush":  sdeadline.PdflushFactory,
 	"split-token":    stoken.Factory,

@@ -1,0 +1,28 @@
+package exp
+
+import "testing"
+
+// TestGCSweepGates pins the GC-inversion demonstration end to end: the aged
+// FTL SSD produces gc-stall inversions under CFQ (phenomenon present), the
+// GC-aware split scheduler runs clean (violations stay zero), and the GC
+// deferral shows up as fewer collections during the measured window.
+func TestGCSweepGates(t *testing.T) {
+	tab := GCSweep(Options{Scale: 0.1, Seed: 1})
+	if tab.Metrics["violations_total"] != 0 {
+		t.Fatalf("violations_total = %v, want 0:\n%s",
+			tab.Metrics["violations_total"], tab.Notes)
+	}
+	if tab.Metrics["cfq_gc_inversions"] == 0 {
+		t.Fatalf("cfq shows no gc-stall inversions; the aged device lost the phenomenon")
+	}
+	if n := tab.Metrics["gc-afq_gc_inversions"]; n != 0 {
+		t.Fatalf("gc-afq shows %v gc-stall inversions, want 0", n)
+	}
+	if tab.Metrics["gc-afq_gc_runs"] >= tab.Metrics["cfq_gc_runs"] {
+		t.Fatalf("gc-afq ran %v collections vs cfq's %v; deferral should suppress them",
+			tab.Metrics["gc-afq_gc_runs"], tab.Metrics["cfq_gc_runs"])
+	}
+	if len(tab.Rows) != len(gcsweepSchedulers) {
+		t.Fatalf("table has %d rows, want %d", len(tab.Rows), len(gcsweepSchedulers))
+	}
+}

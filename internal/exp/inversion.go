@@ -68,6 +68,7 @@ func runEntangled(sched string, o Options) *attr.Attribution {
 // on this workload; `splitbench report` fails a run that detects any.
 var splitSchedulers = map[string]bool{
 	"afq":            true,
+	"gc-afq":         true,
 	"split-deadline": true,
 	"split-pdflush":  true,
 	"split-token":    true,
@@ -114,7 +115,7 @@ func InversionExp(o Options) *Table {
 	t := &Table{
 		ID:     "inversion",
 		Title:  "Latency attribution and inversion detection (" + inversionWorkload + ")",
-		Header: []string{"scheduler", "requests", "txn-commit", "ordered-flush", "writeback", "victim time"},
+		Header: []string{"scheduler", "requests", "txn-commit", "ordered-flush", "writeback", "gc-stall", "victim time"},
 		Metrics: map[string]float64{
 			"violations_total": 0,
 		},
@@ -162,6 +163,7 @@ func InversionExp(o Options) *Table {
 			fmt.Sprintf("%d", c.Counts[kindIdx[attr.KindTxnCommit]]),
 			fmt.Sprintf("%d", c.Counts[kindIdx[attr.KindOrderedFlush]]),
 			fmt.Sprintf("%d", c.Counts[kindIdx[attr.KindWriteback]]),
+			fmt.Sprintf("%d", c.Counts[kindIdx[attr.KindGCStall]]),
 			victim.Round(time.Millisecond).String(),
 		})
 		t.Metrics[sched+"_inversions"] = float64(total)

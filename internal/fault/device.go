@@ -30,6 +30,7 @@ var (
 	_ device.Breakdowner      = (*Device)(nil)
 	_ device.Annotator        = (*Device)(nil)
 	_ device.DurabilityMarker = (*Device)(nil)
+	_ device.GCStaller        = (*Device)(nil)
 )
 
 // Wrap returns a fault device around inner driven by plan (a nil plan
@@ -74,6 +75,16 @@ func (d *Device) Breakdown() (position, transfer time.Duration) {
 		return bd.Breakdown()
 	}
 	return 0, 0
+}
+
+// GCStall implements device.GCStaller by forwarding to the inner model
+// (zero for models without background GC), so GC-stall detection keeps
+// working when the fault plane wraps an FTL SSD.
+func (d *Device) GCStall() time.Duration {
+	if gs, ok := d.inner.(device.GCStaller); ok {
+		return gs.GCStall()
+	}
+	return 0
 }
 
 // Annotate implements device.Annotator: the block dispatcher stores the

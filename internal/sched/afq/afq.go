@@ -67,6 +67,12 @@ type Sched struct {
 	fsyncsOut   int
 	lastBEWrite sim.Time
 
+	// Sync-pressure tracking for device background-work gating (the
+	// gc-afq variant): Sync requests inside the block layer and when the
+	// last one completed.
+	syncInFlight int
+	lastSyncDone sim.Time
+
 	// Writeback control: AFQ disables pdflush and drains dirty data itself
 	// in stride order (paper: schedulers "can take complete control of the
 	// writeback").
@@ -314,6 +320,9 @@ func (s *Sched) Add(r *block.Request) {
 	if r.Class != block.ClassIdle && r.Submitter >= 100 && !r.Journal {
 		s.lastBEWrite = s.env.Now()
 	}
+	if r.Sync {
+		s.syncInFlight++
+	}
 	if r.Op == device.Write {
 		s.writeQ = append(s.writeQ, r)
 		return
@@ -374,6 +383,10 @@ func (s *Sched) Next(now sim.Time) *block.Request {
 // Completed implements block.Elevator: charge the causes for the device
 // time and arm read anticipation.
 func (s *Sched) Completed(r *block.Request) {
+	if r.Sync {
+		s.syncInFlight--
+		s.lastSyncDone = s.env.Now()
+	}
 	cs := r.Causes
 	n := cs.Len()
 	if n == 0 {
@@ -397,3 +410,16 @@ func (s *Sched) Completed(r *block.Request) {
 
 // Pass exposes a process's pass value, for tests.
 func (s *Sched) Pass(pid causes.PID) float64 { return s.st.Pass(int64(pid)) }
+
+// SyncPressure reports whether serving device background work right now
+// could stall a sync request: one is queued or in flight at the block
+// level, an admitted fsync is still between its entry and exit hooks, or a
+// sync request completed within the last grace (the next one of a
+// continuous fsync stream is imminent). The gc-afq variant feeds this to
+// the FTL SSD's GC gate.
+func (s *Sched) SyncPressure(grace time.Duration) bool {
+	if s.syncInFlight > 0 || s.fsyncsOut > 0 {
+		return true
+	}
+	return s.env.Now().Sub(s.lastSyncDone) < grace
+}

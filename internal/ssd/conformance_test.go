@@ -1,0 +1,83 @@
+package ssd
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"splitio/internal/device"
+	"splitio/internal/sim"
+)
+
+// step is one generated request in a conformance sequence. quick fills the
+// fields from its PRNG; decode() folds them into a legal request.
+type step struct {
+	Op      uint8
+	LBA     int64
+	N       uint8
+	GapUS   uint16
+	Barrier bool
+}
+
+func (s step) decode(blocks int64) (device.Op, int64, int, time.Duration, bool) {
+	op := device.Read
+	if s.Op%2 == 1 {
+		op = device.Write
+	}
+	lba := ((s.LBA % blocks) + blocks) % blocks
+	n := int(s.N)%64 + 1
+	gap := time.Duration(s.GapUS) * time.Microsecond
+	return op, lba, n, gap, s.Barrier
+}
+
+// TestDiskConformance is the shared device.Disk property test over all
+// three disk models: for any request sequence, service times are positive,
+// and two fresh instances fed the identical sequence report identical
+// times — i.e. a model's state depends only on dispatch order, never on
+// host-side conditions. The FTL model additionally keeps position+transfer
+// summing to the service time.
+func TestDiskConformance(t *testing.T) {
+	models := []struct {
+		name string
+		mk   func() device.Disk
+	}{
+		{"hdd", func() device.Disk { return device.NewHDD() }},
+		{"ssd", func() device.Disk { return device.NewSSD() }},
+		{"ftlssd", func() device.Disk {
+			return New(sim.NewEnv(1), testConfig())
+		}},
+	}
+	for _, m := range models {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			prop := func(steps []step) bool {
+				a, b := m.mk(), m.mk()
+				blocks := a.Blocks()
+				if blocks <= 0 || a.SeqBandwidth() <= 0 || a.Name() == "" {
+					return false
+				}
+				now := time.Duration(0)
+				for _, s := range steps {
+					op, lba, n, gap, barrier := s.decode(blocks)
+					now += gap
+					sa := a.ServiceTime(op, lba, n, now, barrier)
+					sb := b.ServiceTime(op, lba, n, now, barrier)
+					if sa <= 0 || sa != sb {
+						return false
+					}
+					if fd, ok := a.(device.Breakdowner); ok {
+						pos, xfr := fd.Breakdown()
+						if pos < 0 || xfr < 0 || pos+xfr != sa {
+							return false
+						}
+					}
+					now += sa
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -90,6 +90,17 @@ const (
 	OpService  = "service"
 	OpPosition = "position"
 	OpTransfer = "transfer"
+	// OpGCWait spans the part of a request's device service spent waiting
+	// on a die held by background garbage collection (the FTL SSD model).
+	// It is detection metadata for the attr inversion detector: the wait is
+	// already inside the service span, so attribution must not add it to a
+	// latency category.
+	OpGCWait = "gc-wait"
+	// OpGCMigrate and OpGCErase are background GC activity spans the FTL
+	// SSD emits itself under the GC pseudo-PID (4): valid-page migration
+	// out of a victim block, then the block erase.
+	OpGCMigrate = "gc-migrate"
+	OpGCErase   = "gc-erase"
 
 	// Crash checker (post-hoc analysis over the fault plane's log).
 	OpCrashImage = "crash-image"

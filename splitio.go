@@ -33,6 +33,7 @@ import (
 	"splitio/internal/sched/afq"
 	"splitio/internal/sched/bdeadline"
 	"splitio/internal/sched/cfq"
+	"splitio/internal/sched/gcafq"
 	"splitio/internal/sched/noop"
 	"splitio/internal/sched/scstoken"
 	"splitio/internal/sched/sdeadline"
@@ -48,6 +49,7 @@ var registry = map[string]core.Factory{
 	"block-deadline": bdeadline.Factory,
 	"scs-token":      scstoken.Factory,
 	"afq":            afq.Factory,
+	"gc-afq":         gcafq.Factory,
 	"split-deadline": sdeadline.Factory,
 	"split-pdflush":  sdeadline.PdflushFactory,
 	"split-token":    stoken.Factory,
@@ -75,7 +77,8 @@ type config struct {
 // WithScheduler selects the I/O scheduler by name (see Schedulers).
 func WithScheduler(name string) Option { return func(c *config) { c.sched = name } }
 
-// WithDisk selects "hdd" (default) or "ssd".
+// WithDisk selects "hdd" (default), "ssd" (flat-latency), or "ftlssd"
+// (channel/die-parallel FTL SSD with background garbage collection).
 func WithDisk(kind string) Option {
 	return func(c *config) { c.opts.Disk = core.DiskKind(kind) }
 }

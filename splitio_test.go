@@ -8,7 +8,7 @@ import (
 
 func TestSchedulersList(t *testing.T) {
 	names := Schedulers()
-	want := []string{"afq", "block-deadline", "cfq", "noop", "scs-token", "split-deadline", "split-pdflush", "split-token"}
+	want := []string{"afq", "block-deadline", "cfq", "gc-afq", "noop", "scs-token", "split-deadline", "split-pdflush", "split-token"}
 	if len(names) != len(want) {
 		t.Fatalf("Schedulers() = %v", names)
 	}
@@ -43,6 +43,26 @@ func TestEverySchedulerBoots(t *testing.T) {
 			t.Errorf("%s: reader made no progress", name)
 		}
 		m.Close()
+	}
+}
+
+func TestFTLSSDDiskOption(t *testing.T) {
+	m := New(WithDisk("ftlssd"), WithScheduler("gc-afq"), WithSeed(1))
+	defer m.Close()
+	if got := m.Kernel().Disk.Name(); got != "ftlssd" {
+		t.Fatalf("disk = %q, want ftlssd", got)
+	}
+	f := m.CreateContiguousFile("/w", 32<<20)
+	p := m.Spawn("w", ProcOpts{}, func(task *Task) {
+		var off int64
+		for {
+			task.Write(f, off, 1<<20)
+			off = (off + 1<<20) % (31 << 20)
+		}
+	})
+	m.Run(2 * time.Second)
+	if p.BytesWritten() == 0 {
+		t.Fatal("writer made no progress on ftlssd")
 	}
 }
 

@@ -1,10 +1,12 @@
 # Tier-1 verification plus static and race checks.
 #
-#   make check       vet + lint + build + tests + race + fuzz corpora + crash-consistency smoke + gcsweep + report
+#   make check       vet + lint + build + tests + race + fuzz corpora + crash-consistency smoke + gcsweep + report + slo
 #   make lint        splitlint determinism-contract analyzers (see DESIGN.md)
 #   make crashsweep  fault-injected crash sweep; fails on any invariant violation
 #   make gcsweep     GC-inversion sweep on an aged FTL SSD; fails if gc-afq inverts
 #   make report      latency-attribution report; fails on split-scheduler inversions
+#   make slo         windowed SLO gate; CFQ must breach (with a bundle), split-AFQ must not
+#   make clean       remove generated artifacts (reports, SARIF, coverage, post-mortems)
 #   make fuzz        checked-in fuzz corpora in regression mode (no exploration)
 #   make cover       coverage profile + HTML; fails if total drops below coverage-baseline.txt
 #   make bench       splitbench bench -quick, gated against BENCH_baseline.json (see DESIGN.md)
@@ -16,9 +18,9 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: check build test vet race bench microbench lint fuzz cover crashsweep gcsweep report
+.PHONY: check build test vet race bench microbench lint fuzz cover crashsweep gcsweep report slo clean
 
-check: vet lint build test race fuzz crashsweep gcsweep report
+check: vet lint build test race fuzz crashsweep gcsweep report slo
 
 # The full interprocedural suite (call graph + taint fixpoints) is the
 # slowest static check, so the wall time is echoed to stderr; the SARIF
@@ -73,16 +75,28 @@ cover:
 		{ echo "coverage $$total% fell below the $$base% baseline" >&2; exit 1; }
 
 crashsweep:
-	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) crashsweep
+	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) -postmortem postmortem-crashsweep.json crashsweep
 
 # GC-inversion demonstration on a steady-state-aged FTL SSD: CFQ must show
 # gc-stall inversions (the phenomenon) and gc-afq must show none (the fix);
 # either failing is a violation that exits nonzero.
 gcsweep:
-	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) gcsweep
+	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) -postmortem postmortem-gcsweep.json gcsweep
 
 # Runs the entangled antagonist workload under noop/cfq/afq, writes the
 # blame-table report (the CI artifact), and exits nonzero if any split
 # scheduler shows a priority inversion.
 report:
-	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) report -format json -o report.json
+	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) -postmortem postmortem-report.json report -format json -o report.json
+
+# Two-sided windowed-SLO gate on the entangled antagonist workload: the
+# block-level baseline must breach at a deterministic virtual timestamp and
+# dump a flight-recorder bundle; split-AFQ on the same seed must not breach.
+slo:
+	$(GO) run ./cmd/splitbench -scale 0.1 -seed 1 -j $(NPROC) -postmortem postmortem-slo.json slo
+
+# Generated artifacts only — never sources. Post-mortem bundles are kept by
+# CI as artifacts, not by git.
+clean:
+	rm -f report.json splitlint.sarif BENCH_ci.json coverage.out coverage.html postmortem-*.json
+	rm -rf .splitbench-cache

@@ -126,6 +126,10 @@ func run() int {
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to `FILE`")
 	stats := flag.Bool("stats", false, "print per-machine metric registries after the run")
+	deviceKind := flag.String("device", "", "override the disk model for every kernel: hdd, ssd, or ftlssd (experiments that pin their own device ignore it)")
+	sloSpec := flag.String("slo", "", "attach an SLO monitor to every kernel; semicolon-separated rule `specs` like 'pid=100 op=fsync p99<10ms'")
+	sloWindow := flag.Duration("slo-window", 500*time.Millisecond, "SLO evaluation window (virtual time), with -slo")
+	postmortem := flag.String("postmortem", "", "write flight-recorder post-mortem bundles (JSON) to `FILE` when the run fails or an invariant trips")
 	progress := flag.Bool("progress", false, "print a sweep progress heartbeat (cells done/total, cache hits, ETA) to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to `FILE`")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to `FILE`")
@@ -194,10 +198,21 @@ func run() int {
 	}
 
 	if args := flag.Args(); len(args) > 0 && args[0] == "report" {
-		opts := exp.Options{Scale: *scale, Seed: *seed, Runner: runner}
+		opts := exp.Options{Scale: *scale, Seed: *seed, Runner: runner, Device: *deviceKind}
 		code := runReport(opts, args[1:], os.Stdout, os.Stderr)
 		sweepSummary(runner)
+		if code == 1 && *postmortem != "" {
+			if err := writePostmortem(*postmortem, nil,
+				[]string{"report: split-scheduler inversions detected"}); err != nil {
+				fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+			}
+		}
 		return code
+	}
+
+	if args := flag.Args(); len(args) > 0 && args[0] == "monitor" {
+		opts := exp.Options{Scale: *scale, Seed: *seed, Device: *deviceKind}
+		return runMonitorCmd(opts, *sloWindow, *sloSpec, *traceFile, *postmortem, args[1:], os.Stdout, os.Stderr)
 	}
 
 	seedList, err := parseSeeds(*seeds)
@@ -209,7 +224,15 @@ func run() int {
 		seedList = []int64{*seed}
 	}
 
-	opts := exp.Options{Scale: *scale, Seed: *seed, Runner: runner}
+	opts := exp.Options{Scale: *scale, Seed: *seed, Runner: runner, Device: *deviceKind}
+	if *sloSpec != "" {
+		rules, err := parseRules(*sloSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+			return 2
+		}
+		opts.Monitor = &exp.MonitorCollector{Window: *sloWindow, Rules: rules}
+	}
 	var traceOut *os.File
 	if *traceFile != "" {
 		// Open up front so a bad path fails before the run, not after it.
@@ -231,6 +254,7 @@ func run() int {
 		return 2
 	}
 	failed := false
+	var failures []string
 	for _, sd := range seedList {
 		opts.Seed = sd
 		if len(seedList) > 1 {
@@ -249,13 +273,15 @@ func run() int {
 			if tab.Metrics["violations_total"] > 0 {
 				fmt.Fprintf(os.Stderr, "splitbench: %s reported %.0f invariant violations\n",
 					tab.ID, tab.Metrics["violations_total"])
+				failures = append(failures, fmt.Sprintf("seed %d: %s reported %.0f invariant violations",
+					sd, tab.ID, tab.Metrics["violations_total"]))
 				failed = true
 			}
 		}
 	}
 
 	if opts.Tracer != nil {
-		if err := writeTrace(traceOut, opts.Tracer); err != nil {
+		if err := writeTrace(traceOut, opts.Tracer, monitorCounters(opts.Monitor)); err != nil {
 			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
 			return 1
 		}
@@ -268,6 +294,15 @@ func run() int {
 		for _, m := range opts.Metrics.Machines {
 			fmt.Printf("\nmachine %s:\n", m.Label)
 			m.Registry.WriteText(os.Stdout)
+		}
+	}
+	if opts.Monitor != nil {
+		printMonitors(os.Stdout, opts.Monitor)
+	}
+	if *postmortem != "" {
+		if err := writePostmortem(*postmortem, opts.Monitor, failures); err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+			return 1
 		}
 	}
 	sweepSummary(runner)
@@ -298,9 +333,9 @@ func sweepSummary(r *sweep.Runner) {
 		w, time.Duration(wallNS).Round(time.Millisecond), time.Duration(maxNS).Round(time.Millisecond))
 }
 
-func writeTrace(f *os.File, tr *trace.Tracer) error {
+func writeTrace(f *os.File, tr *trace.Tracer, counters []trace.CounterSample) error {
 	w := bufio.NewWriter(f)
-	if err := trace.WriteChrome(w, tr.Events()); err != nil {
+	if err := trace.WriteChromeFull(w, tr.Events(), counters); err != nil {
 		f.Close()
 		return err
 	}

@@ -21,6 +21,7 @@ import (
 // inversion-free on the report workload.
 var splitSchedulers = map[string]bool{
 	"afq":            true,
+	"gc-afq":         true,
 	"split-deadline": true,
 	"split-pdflush":  true,
 	"split-token":    true,
@@ -40,6 +41,11 @@ const reportSchemaHint = `splitbench report: a report archive is the JSON writte
        "inversion_counts": [{"kind": "txn-commit", "count": N, "total_ns": ...}]}
     ]
   }
+Identity fields are what -diff matches on and are validated field-by-field:
+every scheduler section needs a unique "scheduler" name, every blame group
+its per-ioctx identity ("pid" >= 0 and a non-empty "op") plus a positive
+"count", and every inversion tally a "kind". The error above names the
+first offending field and the section it sits in.
 `
 
 // runReport implements `splitbench report`. It returns the process exit

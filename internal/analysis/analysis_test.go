@@ -85,11 +85,11 @@ func TestNoGoroutineFixtures(t *testing.T) {
 
 func TestLayerDepFixtures(t *testing.T) {
 	assertFindings(t, fixture(t, AnalyzerLayerDep, "layerdep/bad"), []string{
-		"internal/attr/attr.go:3: [layerdep] upward import: layer attr may not import cache (imports must flow downward vfs → cache → attr → crash → fs → block → fault → ssd → device); invert the dependency with an interface defined in attr",
-		"internal/crash/crash.go:3: [layerdep] upward import: layer crash may not import cache (imports must flow downward vfs → cache → attr → crash → fs → block → fault → ssd → device); invert the dependency with an interface defined in crash",
-		"internal/device/device.go:3: [layerdep] upward import: layer device may not import vfs (imports must flow downward vfs → cache → attr → crash → fs → block → fault → ssd → device); invert the dependency with an interface defined in device",
-		"internal/fault/fault.go:3: [layerdep] upward import: layer fault may not import block (imports must flow downward vfs → cache → attr → crash → fs → block → fault → ssd → device); invert the dependency with an interface defined in fault",
-		"internal/fs/fs.go:3: [layerdep] upward import: layer fs may not import cache (imports must flow downward vfs → cache → attr → crash → fs → block → fault → ssd → device); invert the dependency with an interface defined in fs",
+		"internal/attr/attr.go:3: [layerdep] upward import: layer attr may not import cache (imports must flow downward vfs → cache → monitor → attr → crash → fs → block → fault → ssd → device); invert the dependency with an interface defined in attr",
+		"internal/crash/crash.go:3: [layerdep] upward import: layer crash may not import cache (imports must flow downward vfs → cache → monitor → attr → crash → fs → block → fault → ssd → device); invert the dependency with an interface defined in crash",
+		"internal/device/device.go:3: [layerdep] upward import: layer device may not import vfs (imports must flow downward vfs → cache → monitor → attr → crash → fs → block → fault → ssd → device); invert the dependency with an interface defined in device",
+		"internal/fault/fault.go:3: [layerdep] upward import: layer fault may not import block (imports must flow downward vfs → cache → monitor → attr → crash → fs → block → fault → ssd → device); invert the dependency with an interface defined in fault",
+		"internal/fs/fs.go:3: [layerdep] upward import: layer fs may not import cache (imports must flow downward vfs → cache → monitor → attr → crash → fs → block → fault → ssd → device); invert the dependency with an interface defined in fs",
 	})
 	// The good fixture exercises downward and layer-skipping imports
 	// (vfs → cache, vfs → device, cache → block, attr → fs, fs → block,

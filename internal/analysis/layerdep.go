@@ -6,29 +6,32 @@ import (
 
 // layerRank orders the split-level layer packages from the syscall boundary
 // down to the hardware, mirroring the paper's hook placement: system-call
-// layer (vfs), page cache, file system, block layer, device. The latency
-// attributor (attr) and crash checker sit above fs — both consume what the
-// lower layers emit (the trace span stream; the fault log) without being
-// imported by them — and the fault plane sits between block and device (it
-// wraps the disk model). An import from layer A to layer B is legal only
-// when B is strictly deeper than A — downward imports may skip layers (the
-// framework hooks all levels), but nothing may import upward or sideways.
-// The FTL SSD model (ssd) sits between fault and device: it implements the
-// Disk contract device defines, so it imports device but nothing imports it
+// layer (vfs), page cache, file system, block layer, device. The observers
+// sit above what they observe without being imported by it: the monitor
+// (SLO engine + flight recorder) consumes the attributor's inversion
+// stream, so it ranks above attr; attr and the crash checker sit above fs —
+// both consume what the lower layers emit (the trace span stream; the fault
+// log) — and the fault plane sits between block and device (it wraps the
+// disk model). An import from layer A to layer B is legal only when B is
+// strictly deeper than A — downward imports may skip layers (the framework
+// hooks all levels), but nothing may import upward or sideways. The FTL SSD
+// model (ssd) sits between fault and device: it implements the Disk
+// contract device defines, so it imports device but nothing imports it
 // except composition roots.
 var layerRank = map[string]int{
-	"vfs":    0,
-	"cache":  1,
-	"attr":   2,
-	"crash":  3,
-	"fs":     4,
-	"block":  5,
-	"fault":  6,
-	"ssd":    7,
-	"device": 8,
+	"vfs":     0,
+	"cache":   1,
+	"monitor": 2,
+	"attr":    3,
+	"crash":   4,
+	"fs":      5,
+	"block":   6,
+	"fault":   7,
+	"ssd":     8,
+	"device":  9,
 }
 
-var layerOrder = "vfs → cache → attr → crash → fs → block → fault → ssd → device"
+var layerOrder = "vfs → cache → monitor → attr → crash → fs → block → fault → ssd → device"
 
 // layerOf returns the layer name for an import path, or "" if the path is
 // not one of the layer packages. Only the exact packages participate;

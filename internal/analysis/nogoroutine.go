@@ -18,8 +18,10 @@ import (
 // ServiceTime path), so it is core too, as is the latency attributor: its
 // sinks run synchronously inside trace.Record on the event-loop path. The
 // crash checker analyses the fault log after the simulation and stays
-// outside.
-var desCorePackages = []string{"sim", "core", "vfs", "cache", "fs", "block", "device", "sched", "fault", "attr"}
+// outside. The monitor is core for the same reason as attr: it is a trace
+// sink running synchronously inside trace.Record, plus a virtual-time
+// ticker process on the event loop.
+var desCorePackages = []string{"sim", "core", "vfs", "cache", "fs", "block", "device", "sched", "fault", "attr", "monitor"}
 
 func inDESCore(pass *Pass) bool {
 	prefix := pass.ModPath + "/internal/"

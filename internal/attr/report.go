@@ -177,6 +177,8 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // decodes but carries none of a report's identifying fields (an empty
 // object, or unrelated JSON whose fields all go unmatched) is rejected:
 // silently diffing such a husk would report every scheduler as vanished.
+// Deeper shape problems are rejected field-by-field (see validate), so the
+// error names exactly what is malformed and in which scheduler section.
 func ReadReport(r io.Reader) (*Report, error) {
 	var rep Report
 	dec := json.NewDecoder(r)
@@ -186,7 +188,50 @@ func ReadReport(r io.Reader) (*Report, error) {
 	if rep.Workload == "" && len(rep.Schedulers) == 0 {
 		return nil, fmt.Errorf("not a report archive: missing workload and schedulers fields")
 	}
+	if err := rep.validate(); err != nil {
+		return nil, fmt.Errorf("not a report archive: %w", err)
+	}
 	return &rep, nil
+}
+
+// validate checks the identity fields diffing keys on — scheduler names and
+// each blame group's per-ioctx identity (pid, op) — so a malformed archive
+// fails naming the offending field instead of silently matching nothing in
+// the diff.
+func (r *Report) validate() error {
+	seen := make(map[string]int)
+	for i := range r.Schedulers {
+		sr := &r.Schedulers[i]
+		if sr.Scheduler == "" {
+			return fmt.Errorf("schedulers[%d]: missing %q field", i, "scheduler")
+		}
+		if prev, dup := seen[sr.Scheduler]; dup {
+			return fmt.Errorf("schedulers[%d]: duplicate scheduler %q (also schedulers[%d]); diff keys on the name",
+				i, sr.Scheduler, prev)
+		}
+		seen[sr.Scheduler] = i
+		for j, g := range sr.Groups {
+			where := fmt.Sprintf("schedulers[%d] (%s): groups[%d]", i, sr.Scheduler, j)
+			if g.Op == "" {
+				return fmt.Errorf("%s: missing %q field (per-ioctx identity is pid+op; got pid=%d)",
+					where, "op", g.PID)
+			}
+			if g.PID < 0 {
+				return fmt.Errorf("%s (op=%q): negative %q %d", where, g.Op, "pid", g.PID)
+			}
+			if g.Count <= 0 {
+				return fmt.Errorf("%s (pid=%d op=%q): missing or non-positive %q",
+					where, g.PID, g.Op, "count")
+			}
+		}
+		for j, kc := range sr.InversionCounts {
+			if kc.Kind == "" {
+				return fmt.Errorf("schedulers[%d] (%s): inversion_counts[%d]: missing %q field",
+					i, sr.Scheduler, j, "kind")
+			}
+		}
+	}
+	return nil
 }
 
 // totalInversions sums a section's kind counters.

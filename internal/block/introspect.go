@@ -1,0 +1,20 @@
+package block
+
+import "splitio/internal/sched"
+
+var _ sched.Introspector = (*Layer)(nil)
+
+// Snapshot implements sched.Introspector for the dispatcher itself: queue
+// depth above the elevator, dispatcher busy state, and cumulative traffic.
+func (l *Layer) Snapshot() sched.Snap {
+	snap := sched.Snap{Name: "block"}
+	snap.AddInt("queue_depth", l.depth)
+	busy := 0
+	if l.busy {
+		busy = 1
+	}
+	snap.AddInt("dispatching", busy)
+	snap.Add("requests", float64(l.stats.Requests))
+	snap.Add("dispatched", float64(l.stats.Dispatched))
+	return snap
+}

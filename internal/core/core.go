@@ -19,6 +19,8 @@ import (
 	"splitio/internal/fs"
 	"splitio/internal/ioctx"
 	"splitio/internal/metrics"
+	"splitio/internal/monitor"
+	"splitio/internal/sched"
 	"splitio/internal/sim"
 	"splitio/internal/ssd"
 	"splitio/internal/trace"
@@ -96,6 +98,14 @@ type Options struct {
 	// cut, torn/lost writes, read errors) are injected. The wrapper is
 	// exposed as Kernel.Fault; Kernel.Disk stays the raw model.
 	Fault *fault.Plan
+	// Monitor, when non-nil, builds the observability plane (SLO engine,
+	// introspection sampler, flight recorder), attaches it to the kernel's
+	// tracer (enabling the tracer with a small retention ring if the caller
+	// has not), watches the scheduler, block dispatcher, and FTL GC state,
+	// and starts its virtual-time ticker. Like MetricsInterval, the ticker
+	// is a simulated process and perturbs event interleaving, so it is
+	// strictly opt-in.
+	Monitor *monitor.Config
 }
 
 // DefaultOptions returns an 8-core HDD/ext4 machine.
@@ -126,6 +136,9 @@ type Kernel struct {
 	// Sample it on demand, or set Options.MetricsInterval to sample on a
 	// virtual-time tick.
 	Metrics *metrics.Registry
+	// Monitor is the observability plane, non-nil iff Options.Monitor was
+	// set.
+	Monitor *monitor.Monitor
 
 	// WBCtx and JCtx are the writeback and journal task identities.
 	WBCtx *ioctx.Ctx
@@ -157,7 +170,7 @@ func NewKernelOn(env *sim.Env, opts Options, factory Factory) *Kernel {
 	if cores <= 0 {
 		cores = 8
 	}
-	sched := factory(env)
+	sch := factory(env)
 	// The block layer drives the fault wrapper when a plan is set; Kernel.Disk
 	// stays the raw model so cost models can type-switch on it.
 	blkDisk := disk
@@ -166,7 +179,7 @@ func NewKernelOn(env *sim.Env, opts Options, factory Factory) *Kernel {
 		fd = fault.Wrap(disk, opts.Fault)
 		blkDisk = fd
 	}
-	blk := block.NewLayer(env, blkDisk, sched.Elevator())
+	blk := block.NewLayer(env, blkDisk, sch.Elevator())
 	wbCtx := &ioctx.Ctx{PID: 2, Name: "pdflush", Prio: 4}
 	jctx := &ioctx.Ctx{PID: 3, Name: "jbd", Prio: 4}
 	ccfg := cache.DefaultConfig()
@@ -207,7 +220,7 @@ func NewKernelOn(env *sim.Env, opts Options, factory Factory) *Kernel {
 		Cache:   pc,
 		FS:      filesystem,
 		VFS:     v,
-		Sched:   sched,
+		Sched:   sch,
 		Fault:   fd,
 		Trace:   tr,
 		Metrics: metrics.NewRegistry(),
@@ -218,7 +231,27 @@ func NewKernelOn(env *sim.Env, opts Options, factory Factory) *Kernel {
 	if opts.MetricsInterval > 0 {
 		k.Metrics.StartSampler(env, opts.MetricsInterval)
 	}
-	sched.Attach(k)
+	if opts.Monitor != nil {
+		k.Monitor = monitor.New(env, *opts.Monitor)
+		// The monitor is an online trace consumer: it needs the event
+		// stream, not event retention, so a small ring suffices when the
+		// caller has not enabled tracing already.
+		if !tr.Enabled() {
+			tr.SetRing(8192)
+			tr.Enable()
+		}
+		tr.Attach(k.Monitor)
+		if in, ok := sch.(sched.Introspector); ok {
+			k.Monitor.Watch(in)
+		}
+		k.Monitor.Watch(blk)
+		if sd, ok := disk.(*ssd.Device); ok {
+			k.Monitor.Watch(sd)
+		}
+		k.Monitor.RegisterMetrics(k.Metrics)
+		k.Monitor.Start()
+	}
+	sch.Attach(k)
 	return k
 }
 

@@ -17,18 +17,25 @@ import (
 
 // cellKey canonicalizes a cell's cache identity. config must encode
 // everything that distinguishes the cell within the experiment; scale is
-// appended because it changes measurement windows (and therefore results).
+// appended because it changes measurement windows (and therefore results),
+// and the -device override because it swaps the disk model under every
+// kernel the cell builds.
 func (o Options) cellKey(experiment, config string) sweep.Key {
+	if o.Device != "" {
+		config += " device=" + o.Device
+	}
 	return sweep.NewKey(experiment, fmt.Sprintf("%s scale=%g", config, o.Scale), o.Seed)
 }
 
 // cellRunner picks the runner cells execute on. Runs that carry cross-cell
-// observers — a shared -trace tracer or a -stats collector — fall back to
-// an inline serial, uncached runner: the observers' side effects live
-// outside the cell payloads, so skipping or reordering cells would corrupt
-// them. That preserves the exact legacy behavior of -trace/-stats runs.
+// observers — a shared -trace tracer, a -stats collector, or a -slo monitor
+// collector — fall back to an inline serial, uncached runner: the
+// observers' side effects live outside the cell payloads, so skipping or
+// reordering cells would corrupt them. That preserves the exact legacy
+// behavior of -trace/-stats runs. (The slo experiment itself stays
+// parallel: it builds its monitors inside each cell.)
 func (o Options) cellRunner() *sweep.Runner {
-	if o.Runner == nil || o.Tracer != nil || o.Metrics != nil {
+	if o.Runner == nil || o.Tracer != nil || o.Metrics != nil || o.Monitor != nil {
 		return &sweep.Runner{Workers: 1}
 	}
 	return o.Runner

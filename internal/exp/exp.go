@@ -15,6 +15,7 @@ import (
 	"splitio/internal/cache"
 	"splitio/internal/core"
 	"splitio/internal/metrics"
+	"splitio/internal/monitor"
 	"splitio/internal/sched/afq"
 	"splitio/internal/sched/bdeadline"
 	"splitio/internal/sched/cfq"
@@ -62,6 +63,14 @@ type Options struct {
 	// Metrics, when non-nil, collects each kernel's gauge registry so the
 	// caller can print per-machine stats after the run (splitbench -stats).
 	Metrics *StatsCollector
+	// Monitor, when non-nil, attaches an observability plane (SLO engine +
+	// flight recorder, internal/monitor) to every kernel the experiment
+	// builds and collects the monitors per machine (splitbench -slo).
+	Monitor *MonitorCollector
+	// Device overrides every kernel's disk model ("hdd", "ssd", "ftlssd")
+	// when non-empty (splitbench -device). Experiments that pin their own
+	// device (gcsweep's aged FTL, crashsweep's disk axis) ignore it.
+	Device string
 	// Runner, when non-nil, fans an experiment's independent simulation
 	// cells across a host-side worker pool (splitbench -j) with optional
 	// result caching (splitbench -cache). Nil runs cells inline. Output is
@@ -91,6 +100,30 @@ type MachineStats struct {
 // Add registers a machine's registry under label.
 func (sc *StatsCollector) Add(label string, r *metrics.Registry) {
 	sc.Machines = append(sc.Machines, MachineStats{Label: label, Registry: r})
+}
+
+// MonitorCollector gathers the observability planes of every kernel an
+// experiment run creates, labeled like StatsCollector machines. Monitoring
+// starts a virtual-time ticker on each kernel, which perturbs event
+// interleaving slightly relative to an unmonitored run — opt-in, like
+// -stats.
+type MonitorCollector struct {
+	// Window is the SLO window / sampling period (default 500ms).
+	Window time.Duration
+	// Rules are evaluated on every machine each window.
+	Rules    []monitor.Rule
+	Machines []MachineMonitor
+}
+
+// MachineMonitor is one kernel's monitor with a human-readable label.
+type MachineMonitor struct {
+	Label string
+	Mon   *monitor.Monitor
+}
+
+// Add registers a machine's monitor under label.
+func (mc *MonitorCollector) Add(label string, m *monitor.Monitor) {
+	mc.Machines = append(mc.Machines, MachineMonitor{Label: label, Mon: m})
 }
 
 // DefaultOptions runs at full scale with seed 1.
@@ -139,6 +172,7 @@ var All = []Experiment{
 	{"crashsweep", "Crash-consistency sweep (fault plane)", CrashSweep},
 	{"inversion", "Latency attribution and inversion detection", InversionExp},
 	{"gcsweep", "GC-induced inversions on an aged FTL SSD", GCSweep},
+	{"slo", "Windowed SLO detection and flight recorder", SLOExp},
 }
 
 // ByID returns the experiment with the given ID.
@@ -164,6 +198,22 @@ var factories = map[string]core.Factory{
 	"split-token":    stoken.Factory,
 }
 
+// SchedulerNames lists every registered scheduler factory, sorted.
+func SchedulerNames() []string {
+	names := make([]string, 0, len(factories))
+	for name := range factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KnownScheduler reports whether name has a registered factory.
+func KnownScheduler(name string) bool {
+	_, ok := factories[name]
+	return ok
+}
+
 // newKernel builds an experiment machine: 256 MiB cache so multi-GiB scans
 // miss, HDD and ext4 unless mut overrides.
 func newKernel(sched string, o Options, mut func(*core.Options)) *core.Kernel {
@@ -176,16 +226,30 @@ func newKernel(sched string, o Options, mut func(*core.Options)) *core.Kernel {
 	cc.TotalPages = 256 << 20 / cache.PageSize
 	opts.Cache = &cc
 	opts.Tracer = o.Tracer
+	if o.Device != "" {
+		opts.Disk = core.DiskKind(o.Device)
+	}
 	if o.Metrics != nil {
 		opts.MetricsInterval = o.Metrics.Interval
 		if opts.MetricsInterval <= 0 {
 			opts.MetricsInterval = 100 * time.Millisecond
 		}
 	}
+	if o.Monitor != nil {
+		opts.Monitor = &monitor.Config{Window: o.Monitor.Window, Rules: o.Monitor.Rules}
+	}
 	if mut != nil {
 		mut(&opts)
 	}
 	k := core.NewKernelOn(sim.NewEnv(opts.Seed), opts, factories[sched])
+	if o.Monitor != nil && k.Monitor != nil {
+		// Feed the attribution stream into the flight recorder: a new
+		// inversion at any tick trips a post-mortem bundle.
+		a := attr.New()
+		k.Trace.Attach(a)
+		k.Monitor.WatchAttr(a)
+		o.Monitor.Add(fmt.Sprintf("%s#%d", sched, len(o.Monitor.Machines)), k.Monitor)
+	}
 	if o.Metrics != nil {
 		o.Metrics.Add(fmt.Sprintf("%s#%d", sched, len(o.Metrics.Machines)), k.Metrics)
 		if o.Tracer == nil {

@@ -26,6 +26,29 @@ import (
 // inversionWorkload names the antagonist pair in reports.
 const inversionWorkload = "fsync-appender (BE prio 4) vs idle bulk writer"
 
+// spawnEntangled starts the antagonist pair on k: a best-effort fsync
+// appender (the first user process, PID 100) against an idle-class paced
+// bulk writer. Shared by the inversion, report, and slo experiments so they
+// all observe the same phenomenon.
+func spawnEntangled(k *core.Kernel) {
+	fa := k.FS.MkFileContiguous("/log", 64<<20)
+	fb := k.FS.MkFileContiguous("/bulk", 1<<30)
+	k.Spawn("A", 4, func(p *sim.Proc, pr *vfs.Process) {
+		workload.FsyncAppender(k, p, pr, fa, 4096)
+	})
+	k.Spawn("B", 7, func(p *sim.Proc, pr *vfs.Process) {
+		// Paced random bursts rather than a full-throttle writer: an
+		// unbounded writer dirties so much that a CFQ fsync (which must
+		// flush every ordered data dependency) outlives the whole run and
+		// the entanglement never even surfaces as a completed span.
+		pr.Ctx.Class = block.ClassIdle
+		for {
+			workload.WriteBurst(k, p, pr, fb, 64<<10, 4<<20)
+			p.Sleep(500 * time.Millisecond)
+		}
+	})
+}
+
 // runEntangled runs the antagonist pair under sched and returns the
 // attribution of the run.
 func runEntangled(sched string, o Options) *attr.Attribution {
@@ -44,22 +67,7 @@ func runEntangled(sched string, o Options) *attr.Attribution {
 		opt.Tracer = tr
 	})
 	defer k.Env.Close()
-	fa := k.FS.MkFileContiguous("/log", 64<<20)
-	fb := k.FS.MkFileContiguous("/bulk", 1<<30)
-	k.Spawn("A", 4, func(p *sim.Proc, pr *vfs.Process) {
-		workload.FsyncAppender(k, p, pr, fa, 4096)
-	})
-	k.Spawn("B", 7, func(p *sim.Proc, pr *vfs.Process) {
-		// Paced random bursts rather than a full-throttle writer: an
-		// unbounded writer dirties so much that a CFQ fsync (which must
-		// flush every ordered data dependency) outlives the whole run and
-		// the entanglement never even surfaces as a completed span.
-		pr.Ctx.Class = block.ClassIdle
-		for {
-			workload.WriteBurst(k, p, pr, fb, 64<<10, 4<<20)
-			p.Sleep(500 * time.Millisecond)
-		}
-	})
+	spawnEntangled(k)
 	k.Run(o.dur(10 * time.Second))
 	return at
 }

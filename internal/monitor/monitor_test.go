@@ -1,0 +1,250 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"splitio/internal/sim"
+	"splitio/internal/trace"
+)
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule("pid=100 op=fsync p99<10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PID != 100 || r.Op != "fsync" || r.Quantile != 0.99 || r.MaxLatency != 10*time.Millisecond {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.Name != "pid=100 op=fsync p99<10ms" {
+		t.Errorf("name defaults to the spec, got %q", r.Name)
+	}
+
+	r, err = ParseRule("op=write bps>=1048576")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinBps != 1048576 || r.Op != "write" {
+		t.Errorf("parsed %+v", r)
+	}
+
+	r, err = ParseRule("op=fsync p95<5ms budget=0.01 burn=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Budget != 0.01 || r.Burn != 2 || r.Quantile != 0.95 {
+		t.Errorf("parsed %+v", r)
+	}
+
+	for _, bad := range []string{
+		"",                    // no term at all
+		"pid=100",             // no latency or throughput term
+		"p99<10ms budget=x",   // bad budget
+		"p42<10ms",            // unknown quantile
+		"p99=10ms",            // missing <
+		"p99<tenms",           // bad duration
+		"op=fsync budget=0.1", // budget without latency bound
+		"frobnicate",          // unknown token
+	} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Errorf("ParseRule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHistBins(t *testing.T) {
+	// Every bin's upper bound must map back to the same bin, and upper
+	// bounds must be strictly increasing: together these make nearest-rank
+	// quantiles well defined.
+	prev := int64(-1)
+	for b := 0; b < numBins; b++ {
+		up := binUpper(b)
+		if up <= prev {
+			t.Fatalf("binUpper(%d)=%d not increasing (prev %d)", b, up, prev)
+		}
+		prev = up
+		if got := binOf(up); got != b {
+			t.Fatalf("binOf(binUpper(%d)=%d) = %d", b, up, got)
+		}
+	}
+	// Values below 2^subBits bin exactly.
+	for v := int64(0); v < subBins; v++ {
+		if binUpper(binOf(v)) != v {
+			t.Errorf("small value %d not exact", v)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h hist
+	for i := int64(1); i <= 100; i++ {
+		h.observe(i * int64(time.Millisecond))
+	}
+	// Log-histogram quantiles overestimate by at most one sub-bin (~12.5%).
+	for _, tc := range []struct{ q, val float64 }{
+		{0.50, 50e6}, {0.95, 95e6}, {0.99, 99e6},
+	} {
+		got := float64(h.quantile(tc.q))
+		if got < tc.val || got > tc.val*1.15 {
+			t.Errorf("q%g = %g, want within [%g, %g]", tc.q, got, tc.val, tc.val*1.15)
+		}
+	}
+	if h.countAbove(int64(200*time.Millisecond)) != 0 {
+		t.Errorf("countAbove(200ms) nonzero")
+	}
+	if bad := h.countAbove(int64(1 * time.Millisecond)); bad < 99 {
+		t.Errorf("countAbove(1ms) = %d, want >= 99", bad)
+	}
+
+	var merged hist
+	merged.merge(&h)
+	merged.merge(&h)
+	if merged.count != 200 {
+		t.Errorf("merged count %d", merged.count)
+	}
+	if merged.quantile(0.5) != h.quantile(0.5) {
+		t.Errorf("merge shifted the median")
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := recorder{cap: 4}
+	for i := 0; i < 10; i++ {
+		r.push(trace.Event{Op: fmt.Sprintf("op%d", i), Start: sim.Time(i)})
+	}
+	got := r.recent()
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(got))
+	}
+	for i, re := range got {
+		if want := fmt.Sprintf("op%d", 6+i); re.Op != want {
+			t.Errorf("recent[%d] = %s, want %s (oldest-first)", i, re.Op, want)
+		}
+	}
+	if r.total != 10 {
+		t.Errorf("total %d, want 10", r.total)
+	}
+}
+
+func TestTripFirstPerKind(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := New(env, Config{})
+	m.TripNow("slo-breach", "first")
+	m.TripNow("slo-breach", "second") // no-op: kind already dumped
+	m.TripNow("inversion", "other kind")
+	dumps := m.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("got %d dumps, want 2", len(dumps))
+	}
+	if dumps[0].Detail != "first" || dumps[1].Kind != "inversion" {
+		t.Errorf("dumps = %+v", dumps)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteBundles(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []Bundle
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("bundle stream is not valid JSON: %v", err)
+	}
+	if len(back) != 2 || back[0].Kind != "slo-breach" {
+		t.Errorf("round-tripped %+v", back)
+	}
+}
+
+// TestMonitorEndToEnd drives a Monitor purely with synthetic trace events
+// and a virtual-time env: a latency rule breaches on the slow stream and
+// trips exactly one slo-breach bundle whose window stats match.
+func TestMonitorEndToEnd(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	rule, err := ParseRule("pid=7 op=fsync p99<10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(env, Config{Window: 100 * time.Millisecond, Rules: []Rule{rule}})
+	m.Start()
+
+	// A process that issues one slow "fsync" span per 25ms of virtual time.
+	env.Go("load", func(p *sim.Proc) {
+		for i := 0; i < 12; i++ {
+			p.Sleep(25 * time.Millisecond)
+			m.Consume(trace.Event{
+				Layer: trace.LayerSyscall, Op: "fsync", PID: 7,
+				Start: p.Now() - sim.Time(20*time.Millisecond), End: p.Now(),
+				Bytes: 4096,
+			})
+		}
+	})
+	env.Run(sim.Time(450 * time.Millisecond))
+
+	if m.Ticks() != 4 {
+		t.Errorf("ticks = %d, want 4", m.Ticks())
+	}
+	bs := m.Breaches()
+	if len(bs) == 0 {
+		t.Fatal("no breaches detected")
+	}
+	b := bs[0]
+	if b.At != sim.Time(100*time.Millisecond) {
+		t.Errorf("first breach at %v, want the first window close (100ms)", time.Duration(b.At))
+	}
+	if b.Kind != "latency" || time.Duration(b.Value) < 20*time.Millisecond {
+		t.Errorf("breach = %+v", b)
+	}
+	if b.Window.Count == 0 || b.Window.Bytes == 0 {
+		t.Errorf("breach window stats empty: %+v", b.Window)
+	}
+	dumps := m.Dumps()
+	if len(dumps) != 1 || dumps[0].Kind != "slo-breach" {
+		t.Fatalf("dumps = %+v, want exactly one slo-breach", dumps)
+	}
+	if len(dumps[0].Events) == 0 {
+		t.Error("bundle has no flight-recorder events")
+	}
+	if !strings.Contains(dumps[0].Detail, rule.Name) {
+		t.Errorf("bundle detail %q does not name the rule", dumps[0].Detail)
+	}
+}
+
+// TestThroughputRule checks the floor only arms once the stream has been
+// seen, and breaches when the stream stalls afterward.
+func TestThroughputRule(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	rule, err := ParseRule("pid=7 op=write bps>=1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(env, Config{Window: 100 * time.Millisecond, Rules: []Rule{rule}})
+	m.Start()
+	env.Go("load", func(p *sim.Proc) {
+		// Window 1: plenty of bytes. Windows 2+: silence (a stall).
+		for i := 0; i < 4; i++ {
+			p.Sleep(20 * time.Millisecond)
+			m.Consume(trace.Event{
+				Layer: trace.LayerSyscall, Op: "write", PID: 7,
+				Start: p.Now() - sim.Time(time.Millisecond), End: p.Now(),
+				Bytes: 64 << 10,
+			})
+		}
+	})
+	env.Run(sim.Time(350 * time.Millisecond))
+
+	bs := m.Breaches()
+	if len(bs) == 0 {
+		t.Fatal("stalled stream never breached its throughput floor")
+	}
+	if bs[0].Kind != "throughput" {
+		t.Errorf("first breach kind %q", bs[0].Kind)
+	}
+	if bs[0].At <= sim.Time(100*time.Millisecond) {
+		t.Errorf("floor breached in the first (healthy) window at %v", time.Duration(bs[0].At))
+	}
+}

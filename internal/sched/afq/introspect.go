@@ -1,0 +1,27 @@
+package afq
+
+import "splitio/internal/sched"
+
+var _ sched.Introspector = (*Sched)(nil)
+
+// Snapshot implements sched.Introspector: both levels of the split
+// scheduler at once — block-level queue state and the syscall-level
+// admission gate.
+func (s *Sched) Snapshot() sched.Snap {
+	reads, readQs := 0, 0
+	for _, q := range s.readQs {
+		if len(q) == 0 {
+			continue
+		}
+		readQs++
+		reads += len(q)
+	}
+	snap := sched.Snap{Name: s.Name()}
+	snap.AddInt("reads_queued", reads)
+	snap.AddInt("read_queues", readQs)
+	snap.AddInt("writes_queued", len(s.writeQ))
+	snap.AddInt("gate_waiters", len(s.waiters))
+	snap.AddInt("fsyncs_out", s.fsyncsOut)
+	snap.AddInt("sync_inflight", s.syncInFlight)
+	return snap
+}

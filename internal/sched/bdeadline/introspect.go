@@ -1,0 +1,15 @@
+package bdeadline
+
+import "splitio/internal/sched"
+
+var _ sched.Introspector = (*Sched)(nil)
+
+// Snapshot implements sched.Introspector: the two sorted queues plus how
+// many read batches have passed while writes wait.
+func (s *Sched) Snapshot() sched.Snap {
+	snap := sched.Snap{Name: s.Name()}
+	snap.AddInt("reads_queued", len(s.reads))
+	snap.AddInt("writes_queued", len(s.writes))
+	snap.AddInt("writes_starved", s.writesStarve)
+	return snap
+}

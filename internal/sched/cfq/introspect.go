@@ -1,0 +1,40 @@
+package cfq
+
+import (
+	"splitio/internal/block"
+	"splitio/internal/sched"
+)
+
+var _ sched.Introspector = (*Sched)(nil)
+
+// Snapshot implements sched.Introspector: per-class queued totals plus the
+// state of the slice/anticipation machinery.
+func (s *Sched) Snapshot() sched.Snap {
+	queues, be, idle := 0, 0, 0
+	for _, q := range s.queues {
+		if len(q.reqs) == 0 {
+			continue
+		}
+		queues++
+		if q.class == block.ClassIdle {
+			idle += len(q.reqs)
+		} else {
+			be += len(q.reqs)
+		}
+	}
+	snap := sched.Snap{Name: s.Name()}
+	snap.AddInt("queued_be", be)
+	snap.AddInt("queued_idle", idle)
+	snap.AddInt("active_queues", queues)
+	cur := 0
+	if s.curValid {
+		cur = 1
+	}
+	snap.AddInt("slice_active", cur)
+	anticipating := 0
+	if s.env.Now() < s.idleUntil {
+		anticipating = 1
+	}
+	snap.AddInt("anticipating", anticipating)
+	return snap
+}

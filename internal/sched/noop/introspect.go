@@ -1,0 +1,12 @@
+package noop
+
+import "splitio/internal/sched"
+
+var _ sched.Introspector = (*Sched)(nil)
+
+// Snapshot implements sched.Introspector.
+func (s *Sched) Snapshot() sched.Snap {
+	snap := sched.Snap{Name: s.Name()}
+	snap.AddInt("queued", s.elv.Len())
+	return snap
+}

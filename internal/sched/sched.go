@@ -1,0 +1,59 @@
+// Package sched defines the scheduler-introspection contract of the
+// observability plane: a Snapshot method every scheduler (and the block
+// dispatcher and the FTL SSD's GC engine) implements, returning a
+// deterministic, ordered list of named counters — per-class queue depths,
+// in-flight counts, token balances, gate state. The monitor samples
+// snapshots on a virtual-time tick and exports them as Chrome trace_event
+// counter tracks, so internal scheduler state renders in Perfetto alongside
+// the request spans.
+//
+// The package is interface-only (no imports beyond the standard library) so
+// every layer may depend on it without bending the layer DAG: schedulers,
+// the block layer, and the SSD model all implement Introspector; the
+// monitor and composition roots consume it.
+package sched
+
+// Counter is one named introspection value. Values are float64 so token
+// balances fit, but most counters are integral (queue depths, in-flight
+// counts, 0/1 gate state).
+type Counter struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snap is one component's introspection sample. Counters appear in a fixed
+// order chosen by the component (never map order), so two snapshots of the
+// same seed's run are byte-identical when serialized.
+type Snap struct {
+	// Name identifies the component ("cfq", "block", "ftlssd-gc", ...).
+	Name     string    `json:"name"`
+	Counters []Counter `json:"counters"`
+}
+
+// Add appends a counter (fluent, for Snapshot implementations).
+func (s *Snap) Add(name string, v float64) {
+	s.Counters = append(s.Counters, Counter{Name: name, Value: v})
+}
+
+// AddInt appends an integral counter.
+func (s *Snap) AddInt(name string, v int) {
+	s.Add(name, float64(v))
+}
+
+// Get returns the value of the named counter (0, false if absent).
+func (s *Snap) Get(name string) (float64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Introspector exposes a component's internal state as a snapshot. Snapshot
+// must be cheap (no allocation beyond the returned slice), must not mutate
+// scheduling state, and must be deterministic for a given simulation state:
+// the monitor calls it on every tick of its virtual-time sampler.
+type Introspector interface {
+	Snapshot() Snap
+}

@@ -1,0 +1,31 @@
+package scstoken
+
+import (
+	"sort"
+
+	"splitio/internal/sched"
+)
+
+var _ sched.Introspector = (*Sched)(nil)
+
+// Snapshot implements sched.Introspector: per-account token balances (in
+// sorted account order, so snapshots are deterministic) plus the inner
+// stock elevator's state when it is introspectable.
+func (s *Sched) Snapshot() sched.Snap {
+	snap := sched.Snap{Name: s.Name()}
+	names := make([]string, 0, len(s.accounts))
+	for a := range s.accounts {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		snap.Add("tokens."+a, s.accounts[a].Tokens(s.env.Now()))
+	}
+	if in, ok := s.inner.(sched.Introspector); ok {
+		inner := in.Snapshot()
+		for _, c := range inner.Counters {
+			snap.Add(inner.Name+"."+c.Name, c.Value)
+		}
+	}
+	return snap
+}

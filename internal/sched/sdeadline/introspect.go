@@ -1,0 +1,18 @@
+package sdeadline
+
+import "splitio/internal/sched"
+
+var _ sched.Introspector = (*Sched)(nil)
+
+// Snapshot implements sched.Introspector. Name() distinguishes the
+// split-deadline and split-pdflush variants, so one implementation covers
+// both registered schedulers.
+func (s *Sched) Snapshot() sched.Snap {
+	snap := sched.Snap{Name: s.Name()}
+	snap.AddInt("reads_queued", len(s.reads))
+	snap.AddInt("writes_queued", len(s.writes))
+	snap.AddInt("pending_fsyncs", len(s.pending))
+	snap.AddInt("tracked_files", len(s.files))
+	snap.AddInt("writes_starved", s.writesStarve)
+	return snap
+}

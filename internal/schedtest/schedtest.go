@@ -12,8 +12,9 @@ import (
 	"splitio/internal/attr"
 	"splitio/internal/cache"
 	"splitio/internal/core"
-	"splitio/internal/metrics"
 	"splitio/internal/fs"
+	"splitio/internal/metrics"
+	"splitio/internal/sched"
 	"splitio/internal/sim"
 	"splitio/internal/trace"
 	"splitio/internal/vfs"
@@ -182,6 +183,25 @@ func AssertNoInversion(t *testing.T, a *attr.Attribution, kinds ...attr.Kind) {
 			break
 		}
 	}
+}
+
+// Introspect asserts the kernel's scheduler implements the observability
+// plane's introspection contract — every registered scheduler must — and
+// returns its snapshot for counter-level assertions.
+func Introspect(t *testing.T, k *core.Kernel) sched.Snap {
+	t.Helper()
+	in, ok := k.Sched.(sched.Introspector)
+	if !ok {
+		t.Fatalf("scheduler %s does not implement sched.Introspector", k.Sched.Name())
+	}
+	snap := in.Snapshot()
+	if snap.Name != k.Sched.Name() {
+		t.Errorf("snapshot name %q, want scheduler name %q", snap.Name, k.Sched.Name())
+	}
+	if len(snap.Counters) == 0 {
+		t.Errorf("scheduler %s snapshot has no counters", k.Sched.Name())
+	}
+	return snap
 }
 
 // AssertLatencyBudget fails the test if any requested quantile of h

@@ -1,0 +1,21 @@
+package ssd
+
+import "splitio/internal/sched"
+
+var _ sched.Introspector = (*Device)(nil)
+
+// Snapshot implements sched.Introspector for the FTL's GC engine: free-pool
+// state, cumulative GC work, and foreground stall time. Sampled alongside
+// the scheduler snapshots, it shows collections lining up with (or dodging)
+// sync bursts in the counter tracks.
+func (d *Device) Snapshot() sched.Snap {
+	snap := sched.Snap{Name: "ftlssd-gc"}
+	snap.AddInt("free_blocks", d.freeBlocks)
+	snap.Add("gc_runs", float64(d.gcRuns))
+	snap.Add("gc_pages", float64(d.gcPages))
+	snap.Add("host_pages", float64(d.hostPages))
+	snap.Add("erases", float64(d.erases))
+	snap.Add("gc_busy_ms", float64(d.gcBusyNS)/1e6)
+	snap.Add("stall_ms", float64(d.stallNS)/1e6)
+	return snap
+}

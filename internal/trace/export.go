@@ -11,11 +11,29 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"splitio/internal/sim"
 )
+
+// monitorPID is the trace process hosting the monitor's counter tracks —
+// one past the last layer pid (layers are pids 1..numLayers).
+const monitorPID = numLayers + 1
+
+// CounterSample is one point on a Chrome trace_event counter track
+// ("ph":"C"): the monitor emits one per introspection counter per sampling
+// tick, so queue depths and token balances render as stacked area charts in
+// Perfetto alongside the request spans.
+type CounterSample struct {
+	// Track is the counter-track name ("cfq/queued_be", "block/queue_depth").
+	Track string `json:"track"`
+	// At is the virtual sampling time.
+	At sim.Time `json:"at"`
+	// Value is the sampled value.
+	Value float64 `json:"value"`
+}
 
 // WriteChrome writes events as Chrome trace_event JSON ("JSON object
 // format"). Layers become trace processes (so each layer is one named track
@@ -23,6 +41,13 @@ import (
 // (complete) events; instants are "i" events. Virtual nanoseconds map to
 // trace microseconds with three decimals, preserving full precision.
 func WriteChrome(w io.Writer, events []Event) error {
+	return WriteChromeFull(w, events, nil)
+}
+
+// WriteChromeFull is WriteChrome plus monitor counter tracks: each sample
+// becomes a "C" event under a dedicated "monitor" process (pid one past the
+// last layer), one counter track per sample Track name.
+func WriteChromeFull(w io.Writer, events []Event, counters []CounterSample) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
 		return err
@@ -41,6 +66,12 @@ func WriteChrome(w io.Writer, events []Event) error {
 			int(l)+1, fmt.Sprintf("%d. %s", int(l)+1, l)))
 		emit(fmt.Sprintf(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`,
 			int(l)+1, int(l)))
+	}
+	if len(counters) > 0 {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"%d. monitor"}}`,
+			monitorPID, monitorPID))
+		emit(fmt.Sprintf(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`,
+			monitorPID, monitorPID-1))
 	}
 	for i := range events {
 		ev := &events[i]
@@ -89,6 +120,10 @@ func WriteChrome(w io.Writer, events []Event) error {
 		}
 		b.WriteString("}}")
 		emit(b.String())
+	}
+	for _, c := range counters {
+		emit(fmt.Sprintf(`{"name":%q,"ph":"C","pid":%d,"tid":0,"ts":%s,"args":{"value":%s}}`,
+			c.Track, monitorPID, tsUsec(c.At), strconv.FormatFloat(c.Value, 'g', -1, 64)))
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {
 		return err

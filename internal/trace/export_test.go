@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"splitio/internal/sim"
+)
+
+// TestWriteChromeFullCounters validates the counter-track export as real
+// trace_event JSON: every CounterSample becomes a "ph":"C" event under the
+// dedicated monitor process, values survive the float formatting, and the
+// monitor process metadata appears only when counters are present.
+func TestWriteChromeFullCounters(t *testing.T) {
+	events := []Event{{
+		Layer: LayerSyscall, Op: "fsync", PID: 7, Req: 1,
+		Start: 0, End: sim.Time(time.Millisecond),
+	}}
+	counters := []CounterSample{
+		{Track: "cfq/queued_be", At: sim.Time(500 * time.Millisecond), Value: 3},
+		{Track: "block/queue_depth", At: sim.Time(time.Second), Value: 1.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeFull(&buf, events, counters); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid trace_event JSON: %v", err)
+	}
+
+	var cEvents []map[string]any
+	monitorNamed := false
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "C" {
+			cEvents = append(cEvents, ev)
+		}
+		if ev["ph"] == "M" && ev["name"] == "process_name" {
+			if args, ok := ev["args"].(map[string]any); ok && args["name"] == "6. monitor" {
+				monitorNamed = true
+				if ev["pid"] != float64(monitorPID) {
+					t.Errorf("monitor process named on pid %v, want %d", ev["pid"], monitorPID)
+				}
+			}
+		}
+	}
+	if !monitorNamed {
+		t.Error("no monitor process_name metadata emitted")
+	}
+	if len(cEvents) != len(counters) {
+		t.Fatalf("got %d counter events, want %d", len(cEvents), len(counters))
+	}
+	for i, ev := range cEvents {
+		if ev["name"] != counters[i].Track {
+			t.Errorf("counter %d track %v, want %q", i, ev["name"], counters[i].Track)
+		}
+		if ev["pid"] != float64(monitorPID) {
+			t.Errorf("counter %d on pid %v, want %d", i, ev["pid"], monitorPID)
+		}
+		args, ok := ev["args"].(map[string]any)
+		if !ok {
+			t.Fatalf("counter %d has no args: %v", i, ev)
+		}
+		if args["value"] != counters[i].Value {
+			t.Errorf("counter %d value %v, want %g", i, args["value"], counters[i].Value)
+		}
+	}
+	// Virtual nanoseconds export as microseconds: 500ms -> 500000 us.
+	if ts := cEvents[0]["ts"]; ts != float64(500000) {
+		t.Errorf("counter ts %v, want 500000", ts)
+	}
+
+	// Without counters (the plain WriteChrome path) the monitor process
+	// must not appear at all.
+	buf.Reset()
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("monitor")) {
+		t.Error("counter-free export mentions the monitor process")
+	}
+}

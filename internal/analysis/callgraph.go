@@ -484,8 +484,11 @@ func modulePackage(modPath, path string) bool {
 // registration points, and which argument is the callback that will run
 // inside the event loop. These callbacks are documented "must not block":
 // they run on the single event-loop goroutine between process switches.
-// (sim.Env.Go is deliberately absent: process bodies MAY block — that is
-// the coroutine API's whole point.)
+// The set covers the run-to-completion core's whole handler surface —
+// timer scheduling, named handler bodies, and the parked-continuation
+// variants the converted kernel daemons block through. (sim.Env.Go is
+// deliberately absent: process bodies MAY block — that is the coroutine
+// API's whole point.)
 func (b *cgBuilder) handlerRegistration(fn *types.Func) (argIdx int, ok bool) {
 	if fn.Pkg() == nil || fn.Pkg().Path() != b.m.ModPath+"/internal/sim" {
 		return 0, false
@@ -496,8 +499,18 @@ func (b *cgBuilder) handlerRegistration(fn *types.Func) (argIdx int, ok bool) {
 		return 1, true // Schedule(d time.Duration, fn func())
 	case recv == "Env" && fn.Name() == "ScheduleAt":
 		return 1, true // ScheduleAt(at Time, fn func())
+	case recv == "Env" && fn.Name() == "NewHandler":
+		return 1, true // NewHandler(name string, fn func())
 	case recv == "Completion" && fn.Name() == "OnComplete":
 		return 0, true // OnComplete(fn func())
+	case recv == "Completion" && fn.Name() == "WaitFn":
+		return 0, true // WaitFn(fn func())
+	case recv == "WaitQueue" && fn.Name() == "WaitFn":
+		return 0, true // WaitFn(fn func(sig bool))
+	case recv == "WaitQueue" && fn.Name() == "WaitTimeoutFn":
+		return 1, true // WaitTimeoutFn(d time.Duration, fn func(sig bool))
+	case recv == "" && fn.Name() == "WaitAllFn":
+		return 1, true // WaitAllFn(cs []*Completion, k func())
 	}
 	return 0, false
 }
@@ -610,7 +623,7 @@ func (g *callGraph) hotRoots() map[*cgNode]string {
 	}
 	for _, n := range g.nodes {
 		if n.handler {
-			roots[n] = "event-loop callback (sim.Env.Schedule / Completion.OnComplete)"
+			roots[n] = "event-loop callback (sim handler registration: Schedule/ScheduleAt/NewHandler/OnComplete/WaitFn/WaitTimeoutFn/WaitAllFn)"
 		}
 		if n.hot && n.enclosing == nil {
 			roots[n] = "//splitlint:hot function"

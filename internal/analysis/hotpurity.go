@@ -18,9 +18,13 @@ import (
 // calls deep — or behind an interface dispatch — is caught too.
 //
 // Roots (see callgraph.go): module implementations of block.Elevator's
-// Add/Next/Completed; callbacks registered via sim.Env.Schedule/ScheduleAt
-// and sim.Completion.OnComplete; //splitlint:hot-annotated functions.
-// sim.Env.Go bodies are NOT roots: processes are coroutines and may block.
+// Add/Next/Completed; callbacks registered at any sim handler registration
+// point — Env.Schedule/ScheduleAt, Env.NewHandler bodies,
+// Completion.OnComplete/WaitFn, WaitQueue.WaitFn/WaitTimeoutFn, and
+// sim.WaitAllFn continuations (the parked-continuation surface the
+// run-to-completion kernel daemons block through); //splitlint:hot-annotated
+// functions. sim.Env.Go bodies are NOT roots: processes are coroutines and
+// may block.
 //
 // Violations in the reachable set: goroutine spawns, channel operations
 // (send/recv/select/range), blocking stdlib calls (mutex lock, WaitGroup /

@@ -21,3 +21,20 @@ type Proc struct{}
 type Completion struct{}
 
 func (c *Completion) OnComplete(fn func()) { _ = fn }
+
+// WaitQueue is a stub FIFO wait queue; its *Fn registrations park handler
+// continuations that run on the event loop.
+type WaitQueue struct{}
+
+func (q *WaitQueue) WaitFn(fn func(sig bool))                         { _ = fn }
+func (q *WaitQueue) WaitTimeoutFn(d time.Duration, fn func(sig bool)) { _ = d; _ = fn }
+
+func (c *Completion) WaitFn(fn func()) { _ = fn }
+
+// WaitAllFn is the stub continuation barrier.
+func WaitAllFn(cs []*Completion, k func()) { _ = cs; _ = k }
+
+// Handler is a stub named-handler handle.
+type Handler struct{}
+
+func (e *Env) NewHandler(name string, fn func()) *Handler { _ = name; _ = fn; return nil }

@@ -135,13 +135,35 @@ type Layer struct {
 	stats Stats
 	// QueueDepth>1 is not modeled; the dispatcher issues one request at a
 	// time, matching the paper's single-spindle evaluation.
+
+	// Run-to-completion dispatcher state (the default engine). The
+	// dispatcher issues one request at a time, so the in-flight request and
+	// its captured trace breakdown live in the layer; the two callbacks are
+	// allocated once here so the steady-state dispatch loop never allocates.
+	inflight      *Request
+	inflightSvc   time.Duration
+	inflightPos   time.Duration
+	inflightXfer  time.Duration
+	inflightStall time.Duration
+	inflightTrcd  bool
+	completeFn    func()
+	resumeFn      func(sig bool)
 }
 
 // NewLayer creates a block layer over disk using elv and starts its
-// dispatcher process.
+// dispatcher. The dispatcher is a run-to-completion handler on the event
+// loop; with the legacy engine selected it is a coroutine process instead.
 func NewLayer(env *sim.Env, disk device.Disk, elv Elevator) *Layer {
 	l := &Layer{env: env, disk: disk, elv: elv, tr: trace.Nop, work: sim.NewWaitQueue(env)}
-	env.Go("block-dispatch", l.dispatcher)
+	if env.LegacyCoroutines() {
+		env.Go("block-dispatch", l.dispatcher)
+		return l
+	}
+	l.completeFn = l.complete
+	l.resumeFn = func(sig bool) { l.dispatchStep() }
+	// The startup event mirrors the legacy spawn: the first dispatch probe
+	// runs at time zero, in construction order, and parks on l.work.
+	env.Schedule(0, l.dispatchStep)
 	return l
 }
 
@@ -269,9 +291,86 @@ func (l *Layer) Kick() {
 	}
 }
 
-// dispatcher is the block layer's dispatch loop: every request the module
-// simulates flows through this body, so it is the first target of the
-// flat-event-loop rewrite (ROADMAP item 1) and must stay allocation-free.
+// dispatchStep probes the elevator and, if a request is eligible, starts
+// serving it. Every request the module simulates flows through this body;
+// it runs to completion on the event loop and must stay allocation-free.
+//
+//splitlint:hot
+func (l *Layer) dispatchStep() {
+	// The elevator's pick and the disk model's service-time computation
+	// are the sched and device buckets' host-CPU profiling points; both
+	// are synchronous, so the samples never straddle an event boundary.
+	pt := perf.Begin(perf.BucketSched)
+	r := l.elv.Next(l.env.Now())
+	perf.End(perf.BucketSched, pt)
+	if r == nil {
+		l.work.WaitFn(l.resumeFn)
+		return
+	}
+	l.busy = true
+	r.Start = l.env.Now()
+	l.stats.Dispatched++
+	if l.hooks != nil {
+		l.hooks.BlockDispatched(r)
+	}
+	if an, ok := l.disk.(device.Annotator); ok {
+		// Device wrappers that model durability (the fault plane) need
+		// the request's semantic tags; raw models ignore them.
+		an.Annotate(device.RequestInfo{
+			Sync: r.Sync, Journal: r.Journal, Meta: r.Meta, Barrier: r.Barrier,
+			FileID: r.FileID, TxnID: r.TxnID, Pages: r.Pages,
+		})
+	}
+	pt = perf.Begin(perf.BucketDevice)
+	svc := l.disk.ServiceTime(r.Op, r.LBA, r.Blocks, time.Duration(l.env.Now()), r.Barrier)
+	perf.End(perf.BucketDevice, pt)
+	l.inflight = r
+	l.inflightSvc = svc
+	l.inflightPos, l.inflightXfer, l.inflightStall = 0, 0, 0
+	l.inflightTrcd = l.tr.Enabled()
+	if l.inflightTrcd {
+		// Capture the positioning/transfer split and GC stall now: the
+		// disk model's per-request state is overwritten by the next
+		// ServiceTime call.
+		if bd, ok := l.disk.(device.Breakdowner); ok {
+			l.inflightPos, l.inflightXfer = bd.Breakdown()
+		}
+		if gs, ok := l.disk.(device.GCStaller); ok {
+			l.inflightStall = gs.GCStall()
+		}
+	}
+	l.env.Schedule(svc, l.completeFn)
+}
+
+// complete is the device-completion handler: it retires the in-flight
+// request and immediately probes the elevator again, all within one event.
+//
+//splitlint:hot
+func (l *Layer) complete() {
+	r, svc := l.inflight, l.inflightSvc
+	l.inflight = nil
+	r.Service = svc
+	l.stats.BusyTime += svc
+	if r.Op == device.Read {
+		l.stats.BlocksRead += int64(r.Blocks)
+	} else {
+		l.stats.BlocksWrite += int64(r.Blocks)
+	}
+	l.busy = false
+	l.depth--
+	l.elv.Completed(r)
+	if l.hooks != nil {
+		l.hooks.BlockCompleted(r)
+	}
+	if l.inflightTrcd {
+		l.traceRequest(r, l.inflightPos, l.inflightXfer, l.inflightStall)
+	}
+	r.done.Complete()
+	l.dispatchStep()
+}
+
+// dispatcher is the legacy coroutine build of the dispatch loop, kept only
+// for the differential equivalence harness (core.Options.LegacyCoroutines).
 //
 //splitlint:hot
 func (l *Layer) dispatcher(p *sim.Proc) {

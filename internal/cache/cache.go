@@ -84,6 +84,13 @@ type dirtyFile struct {
 // there).
 type WritebackFn func(p *sim.Proc, ino int64, max int) int
 
+// WritebackAsyncFn is the run-to-completion counterpart of WritebackFn: it
+// flushes up to max dirty pages of ino on behalf of the handler-based
+// writeback daemon and invokes done(n) — n pages submitted — once every
+// write has completed. It must not block; the file system provides it
+// alongside WritebackFn.
+type WritebackAsyncFn func(ino int64, max int, done func(n int))
+
 // Cache is the simulated page cache.
 type Cache struct {
 	env   *sim.Env
@@ -104,8 +111,14 @@ type Cache struct {
 	flushHint []int64        // files schedulers asked to flush first
 
 	writeback      WritebackFn
+	writebackAsync WritebackAsyncFn
 	pdflushEnabled bool
 	wbCtx          *ioctx.Ctx
+
+	// Run-to-completion pdflush state (the default engine): the loop and
+	// park continuations are allocated once at construction.
+	pdWakeFn func(sig bool)
+	pdIdleFn func(sig bool)
 
 	// Tag-memory accounting (Fig 10).
 	tagBytes    int64
@@ -135,7 +148,15 @@ func New(env *sim.Env, cfg Config, wbCtx *ioctx.Ctx) *Cache {
 		pdflushEnabled: true,
 		wbCtx:          wbCtx,
 	}
-	env.Go("pdflush", c.pdflush)
+	if env.LegacyCoroutines() {
+		env.Go("pdflush", c.pdflush)
+		return c
+	}
+	c.pdWakeFn = func(sig bool) { c.pdflushLoop() }
+	c.pdIdleFn = c.pdflushAfterIdle
+	// The startup event mirrors the legacy spawn: the daemon's first pass
+	// runs at time zero, in construction order, and parks on wbWake.
+	env.Schedule(0, c.pdflushLoop)
 	return c
 }
 
@@ -153,7 +174,31 @@ func (c *Cache) SetTracer(tr *trace.Tracer) {
 // SetWriteback installs the file system's flush callback.
 // The parameter is spelled as an unnamed func type so that fs.PageCache can
 // name this method without importing cache.
-func (c *Cache) SetWriteback(fn func(p *sim.Proc, ino int64, max int) int) { c.writeback = fn }
+//
+// Under the run-to-completion engine the blocking callback is also wrapped
+// into an async adapter that drives it on a transient process, so direct
+// cache users (tests) that never call SetWritebackAsync still get a working
+// daemon; fs installs its native continuation right after, overwriting the
+// adapter.
+func (c *Cache) SetWriteback(fn func(p *sim.Proc, ino int64, max int) int) {
+	c.writeback = fn
+	if fn == nil || c.env.LegacyCoroutines() {
+		return
+	}
+	c.writebackAsync = func(ino int64, max int, done func(n int)) {
+		c.env.Go("pdflush-wb", func(p *sim.Proc) {
+			done(fn(p, ino, max))
+		})
+	}
+}
+
+// SetWritebackAsync installs the run-to-completion flush callback the
+// handler-based pdflush drives. Like SetWriteback, the parameter is an
+// unnamed func type so fs.PageCache can name this method without importing
+// cache.
+func (c *Cache) SetWritebackAsync(fn func(ino int64, max int, done func(n int))) {
+	c.writebackAsync = fn
+}
 
 // SetPdflushEnabled turns the periodic writeback daemon on or off. Split
 // schedulers that take complete control of writeback (paper §7.1.2) turn it
@@ -595,9 +640,77 @@ func (c *Cache) nextDirtyIno() (int64, bool) {
 	return bestIno, true
 }
 
-// pdflush is the writeback daemon: wake periodically (or on demand), and
-// while the system is over the background threshold — or a flush hint is
-// pending — flush batches of dirty files.
+// pdflushLoop is the writeback daemon as a run-to-completion state machine:
+// one pass of the legacy loop body per invocation, parking on wbWake (with
+// or without the periodic timeout) between passes. Wakers go through the
+// same wbWake queue in both engines, so signal ordering is identical.
+func (c *Cache) pdflushLoop() {
+	if !c.pdflushEnabled {
+		c.wbWake.WaitFn(c.pdWakeFn)
+		return
+	}
+	over := c.dirtyCount > c.bgThreshold()
+	hinted := len(c.flushHint) > 0
+	throttled := c.throttleQ.Len() > 0
+	if !over && !hinted && !throttled {
+		c.wbWake.WaitTimeoutFn(c.cfg.WritebackInterval, c.pdIdleFn)
+		return
+	}
+	ino, ok := c.nextDirtyIno()
+	if !ok {
+		c.maybeUnthrottle()
+		c.wbWake.WaitTimeoutFn(c.cfg.WritebackInterval, c.pdWakeFn)
+		return
+	}
+	c.flushOneFn(ino)
+}
+
+// pdflushAfterIdle resumes the daemon after an idle park: flush one file
+// periodically to age out dirty data even under the background threshold.
+func (c *Cache) pdflushAfterIdle(sig bool) {
+	if c.dirtyCount > 0 && c.pdflushEnabled {
+		if ino, ok := c.nextDirtyIno(); ok {
+			c.flushOneFn(ino)
+			return
+		}
+	}
+	c.pdflushLoop()
+}
+
+// flushOneFn flushes one file through the async writeback callback and
+// continues the daemon loop once the flush completes.
+func (c *Cache) flushOneFn(ino int64) {
+	if c.writebackAsync == nil {
+		// No file system attached: drop the pages (test configurations).
+		c.TakeDirty(ino, c.cfg.WritebackBatch)
+		c.pdflushLoop()
+		return
+	}
+	traced := c.tr.Enabled()
+	var start sim.Time
+	if traced {
+		c.wbCtx.Req = c.tr.NextReq()
+		start = c.env.Now()
+	}
+	depth := c.dirtyCount
+	c.writebackAsync(ino, c.cfg.WritebackBatch, func(n int) {
+		if traced {
+			c.tr.Record(trace.Event{
+				Layer: trace.LayerCache, Op: trace.OpWriteback, Label: "pdflush",
+				Req: c.wbCtx.Req, PID: c.wbCtx.PID, Depth: depth,
+				Start: start, End: c.env.Now(), Ino: ino, Blocks: n,
+			})
+		}
+		c.maybeUnthrottle()
+		c.pdflushLoop()
+	})
+}
+
+// pdflush is the legacy coroutine build of the writeback daemon, kept only
+// for the differential equivalence harness (core.Options.LegacyCoroutines):
+// wake periodically (or on demand), and while the system is over the
+// background threshold — or a flush hint is pending — flush batches of
+// dirty files.
 func (c *Cache) pdflush(p *sim.Proc) {
 	for {
 		if !c.pdflushEnabled {

@@ -92,11 +92,43 @@ func (f *FS) GarbageBlocks() int64 { return f.garbageBlocks }
 // GCRelocatedBlocks returns how many live blocks the cleaner has moved.
 func (f *FS) GCRelocatedBlocks() int64 { return f.statGCRelocated }
 
-// gcTask is the copy-on-write cleaner: when garbage accumulates, it picks
-// the most fragmented file, reads a batch of its live blocks and rewrites
-// them contiguously at the log head, acting as a proxy for the file's
-// owners. Split schedulers therefore charge GC I/O to the tenants whose
-// overwrites created the garbage.
+// gcStep is one run-to-completion round of the copy-on-write cleaner: when
+// garbage accumulates, pick the most fragmented file, relocate a batch of
+// its live blocks as a proxy for the file's owners, then pace one
+// millisecond before the next round; otherwise park on gcWake.
+func (f *FS) gcStep() {
+	if f.garbageBlocks <= f.cfg.GCThresholdBlocks {
+		f.gcWake.WaitTimeoutFn(5*time.Second, f.gcWakeFn)
+		return
+	}
+	victim := f.mostFragmented()
+	if victim == nil {
+		f.gcWake.WaitTimeoutFn(5*time.Second, f.gcWakeFn)
+		return
+	}
+	owners := f.fileOwners[victim.Ino]
+	if owners.Empty() {
+		owners = causes.Of(f.gcCtx.PID)
+	}
+	f.gcCtx.BeginProxy(owners)
+	f.relocateFn(victim, f.cfg.GCBatch, func() {
+		f.gcCtx.EndProxy()
+		// Relocation compacts: credit the garbage it implicitly reclaims.
+		reclaimed := int64(f.cfg.GCBatch)
+		if reclaimed > f.garbageBlocks {
+			reclaimed = f.garbageBlocks
+		}
+		f.garbageBlocks -= reclaimed
+		f.env.Schedule(time.Millisecond, f.gcStepFn)
+	})
+}
+
+// gcTask is the legacy coroutine build of the copy-on-write cleaner, kept
+// only for the differential equivalence harness: when garbage accumulates,
+// it picks the most fragmented file, reads a batch of its live blocks and
+// rewrites them contiguously at the log head, acting as a proxy for the
+// file's owners. Split schedulers therefore charge GC I/O to the tenants
+// whose overwrites created the garbage.
 func (f *FS) gcTask(p *sim.Proc) {
 	for {
 		if f.garbageBlocks <= f.cfg.GCThresholdBlocks {
@@ -137,8 +169,62 @@ func (f *FS) mostFragmented() *File {
 	return best
 }
 
-// relocate reads up to max live blocks of file from their current extents
-// and rewrites them contiguously, remapping as it goes.
+// relocateFn is the continuation build of relocate: read, remap, rewrite
+// one extent batch at a time, chaining on the block completions, and invoke
+// k when the batch quota is met or the extents run out.
+func (f *FS) relocateFn(file *File, max int, k func()) {
+	moved := 0
+	// Copy the extent list: remapping mutates it.
+	extents := append([]extent(nil), file.extents...)
+	i := 0
+	var step func()
+	step = func() {
+		if i >= len(extents) || moved >= max {
+			k()
+			return
+		}
+		e := extents[i]
+		i++
+		n := e.n
+		if int64(max-moved) < n {
+			n = int64(max - moved)
+		}
+		read := &block.Request{
+			Op:        device.Read,
+			LBA:       e.diskBlk,
+			Blocks:    int(n),
+			Causes:    f.gcCtx.Causes(),
+			Submitter: f.gcCtx.PID,
+			Prio:      f.gcCtx.Prio,
+			Meta:      false,
+			FileID:    file.Ino,
+		}
+		f.blk.Submit(read).WaitFn(func() {
+			dst := f.allocCursor
+			f.allocCursor += n
+			f.remapRange(file, e.fileBlk, n, dst)
+			write := &block.Request{
+				Op:        device.Write,
+				LBA:       dst,
+				Blocks:    int(n),
+				Causes:    f.gcCtx.Causes(),
+				Submitter: f.gcCtx.PID,
+				Prio:      f.gcCtx.Prio,
+				FileID:    file.Ino,
+			}
+			f.blk.Submit(write).WaitFn(func() {
+				moved += int(n)
+				f.statGCRelocated += n
+				step()
+			})
+		})
+	}
+	step()
+}
+
+// relocate is the legacy coroutine build of relocateFn, kept only for the
+// differential equivalence harness: it reads up to max live blocks of file
+// from their current extents and rewrites them contiguously.
 func (f *FS) relocate(p *sim.Proc, file *File, max int) {
 	moved := 0
 	// Copy the extent list: remapping mutates it.

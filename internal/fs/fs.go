@@ -62,6 +62,10 @@ type PageCache interface {
 	// SetWriteback installs the function the cache calls to flush dirty
 	// pages of a file.
 	SetWriteback(fn func(p *sim.Proc, ino int64, max int) int)
+	// SetWritebackAsync installs the continuation form of the writeback
+	// function, used by the run-to-completion engine: flush up to max dirty
+	// pages of ino and invoke done(n) once the submitted writes complete.
+	SetWritebackAsync(fn func(ino int64, max int, done func(n int)))
 	// Misses returns the cumulative miss count (the VFS uses it to
 	// classify a read as hit or miss).
 	Misses() int64
@@ -207,6 +211,13 @@ type FS struct {
 	gcWake        *sim.WaitQueue
 	gcCtx         *ioctx.Ctx
 
+	// Run-to-completion engine state: continuations preallocated once so the
+	// daemons never build closures while parking (nil under the legacy
+	// coroutine engine).
+	jWakeFn  func(sig bool)
+	gcStepFn func()
+	gcWakeFn func(sig bool)
+
 	// Stats.
 	statCommits      int64
 	statJournalBlks  int64
@@ -240,15 +251,30 @@ func New(env *sim.Env, cfg Config, c PageCache, blk *block.Layer, jctx, wbCtx *i
 	f.journalHead = 0
 	f.allocCursor = 1024
 	f.running = f.newTxn()
-	env.Go("jbd", f.journalTask)
-	env.Go("jbd-timer", f.commitTimer)
+	// The startup events mirror the legacy spawn order (jbd, jbd-timer, gc)
+	// so the two engines assign identical event sequence numbers at t=0.
+	if env.LegacyCoroutines() {
+		env.Go("jbd", f.journalTask)
+		env.Go("jbd-timer", f.commitTimer)
+	} else {
+		f.jWakeFn = func(sig bool) { f.journalStep() }
+		env.Schedule(0, f.journalStep)
+		env.Schedule(0, f.armCommitTimer)
+	}
 	if cfg.CopyOnWrite {
 		f.fileOwners = make(map[int64]causes.Set)
 		f.gcWake = sim.NewWaitQueue(env)
 		f.gcCtx = &ioctx.Ctx{PID: 4, Name: "gc", Prio: 4}
-		env.Go("gc", f.gcTask)
+		if env.LegacyCoroutines() {
+			env.Go("gc", f.gcTask)
+		} else {
+			f.gcStepFn = f.gcStep
+			f.gcWakeFn = func(sig bool) { f.gcStep() }
+			env.Schedule(0, f.gcStepFn)
+		}
 	}
 	c.SetWriteback(f.writebackFile)
+	c.SetWritebackAsync(f.writebackFileAsync)
 	return f
 }
 
@@ -497,20 +523,34 @@ func (f *FS) allocate(file *File, fileBlk, n int64) int64 {
 	return diskBlk
 }
 
-// flushFileData takes up to max dirty pages of ino (all if max<=0),
-// allocates any unmapped blocks (marking ctx as a proxy for the pages'
-// causes while it does delegation work), submits the writes, and — when
-// sync — waits for completion. It returns the number of pages submitted.
-func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync bool) int {
+// flushState carries one flush across its completion waits. The flush path
+// is split into flushBegin (take pages, allocate, submit) and flushEnd
+// (trace + proxy drop after the waits) so the blocking flushFileData and the
+// continuation flushFileDataFn share every side-effecting line between them.
+type flushState struct {
+	ctx        *ioctx.Ctx
+	ino        int64
+	n          int
+	union      causes.Set
+	flushStart sim.Time
+	proxied    bool
+	dones      []*sim.Completion
+}
+
+// flushBegin takes up to max dirty pages of ino (all if max<=0), allocates
+// any unmapped blocks (marking ctx as a proxy for the pages' causes while it
+// does delegation work), and submits the writes. It returns nil when there
+// was nothing to flush.
+func (f *FS) flushBegin(ctx *ioctx.Ctx, ino int64, max int, sync bool) *flushState {
 	file, ok := f.byIno[ino]
 	if !ok {
 		// Unlinked while dirty: nothing to do.
 		f.cache.TakeDirty(ino, max)
-		return 0
+		return nil
 	}
 	idxs, tags := f.cache.TakeDirty(ino, max)
 	if len(idxs) == 0 {
-		return 0
+		return nil
 	}
 	flushStart := f.env.Now()
 	// Delegation: the flusher acts on behalf of the pages' causes while
@@ -523,7 +563,6 @@ func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync
 	if ctx != nil && (ctx == f.wbCtx || ctx == f.jctx) {
 		ctx.BeginProxy(union)
 		proxied = true
-		defer ctx.EndProxy()
 	}
 	// Allocate unmapped runs; allocation is a metadata update that joins
 	// the running transaction, charged to the proxied causes. In
@@ -629,27 +668,66 @@ func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync
 		i = j
 	}
 	f.statDataFlushed += int64(len(idxs))
-	if sync {
-		for _, d := range dones {
-			d.Wait(p)
-		}
+	return &flushState{
+		ctx: ctx, ino: ino, n: len(idxs), union: union,
+		flushStart: flushStart, proxied: proxied, dones: dones,
 	}
+}
+
+// flushEnd finishes a flush begun by flushBegin, after any completion
+// waits: record the flush span and drop the proxy delegation (in the same
+// record-then-EndProxy order the blocking build's defer produced).
+func (f *FS) flushEnd(st *flushState) {
 	if f.tr.Enabled() {
 		// Journal-driven flushes (the ordered-mode pass of commit) carry the
 		// committing transaction's id; attribution uses it to tie foreign
 		// data flushes to the fsyncs waiting on that commit.
 		var txnID int64
-		if ctx == f.jctx {
+		if st.ctx == f.jctx {
 			txnID = f.flushTxnID
 		}
 		f.tr.Record(trace.Event{
 			Layer: trace.LayerFS, Op: trace.OpFlushData,
-			Req: reqOf(ctx), PID: pidOf(ctx), Causes: union, Prio: prioOf(ctx),
-			Start: flushStart, End: f.env.Now(), Ino: ino, Blocks: len(idxs),
+			Req: reqOf(st.ctx), PID: pidOf(st.ctx), Causes: st.union, Prio: prioOf(st.ctx),
+			Start: st.flushStart, End: f.env.Now(), Ino: st.ino, Blocks: st.n,
 			Txn: txnID,
 		})
 	}
-	return len(idxs)
+	if st.proxied {
+		st.ctx.EndProxy()
+	}
+}
+
+// flushFileData is the blocking build of the flush path: flushBegin, wait
+// for the submitted writes when sync, flushEnd. It returns the number of
+// pages submitted.
+func (f *FS) flushFileData(p *sim.Proc, ctx *ioctx.Ctx, ino int64, max int, sync bool) int {
+	st := f.flushBegin(ctx, ino, max, sync)
+	if st == nil {
+		return 0
+	}
+	if sync {
+		for _, d := range st.dones {
+			d.Wait(p)
+		}
+	}
+	f.flushEnd(st)
+	return st.n
+}
+
+// flushFileDataFn is the continuation build of flushFileData (always sync):
+// submit the runs, then invoke k with the page count once every submitted
+// write has completed.
+func (f *FS) flushFileDataFn(ctx *ioctx.Ctx, ino int64, max int, k func(n int)) {
+	st := f.flushBegin(ctx, ino, max, true)
+	if st == nil {
+		k(0)
+		return
+	}
+	sim.WaitAllFn(st.dones, func() {
+		f.flushEnd(st)
+		k(st.n)
+	})
 }
 
 func reqOf(c *ioctx.Ctx) trace.ReqID {
@@ -689,7 +767,21 @@ func (f *FS) waitInflight(p *sim.Proc, ino int64) {
 	for _, d := range snapshot {
 		d.Wait(p)
 	}
-	// Prune completed entries so the list stays small.
+	f.pruneInflight(ino)
+}
+
+// waitInflightFn is the continuation form of waitInflight: the same
+// snapshot barrier, invoking k once the snapshot has drained.
+func (f *FS) waitInflightFn(ino int64, k func()) {
+	snapshot := append([]*sim.Completion(nil), f.inflightDones[ino]...)
+	sim.WaitAllFn(snapshot, func() {
+		f.pruneInflight(ino)
+		k()
+	})
+}
+
+// pruneInflight drops completed entries so the per-ino list stays small.
+func (f *FS) pruneInflight(ino int64) {
 	live := f.inflightDones[ino][:0]
 	for _, d := range f.inflightDones[ino] {
 		if !d.Done() {
@@ -708,6 +800,13 @@ func (f *FS) waitInflight(p *sim.Proc, ino int64) {
 // daemon waits so it paces itself at disk speed).
 func (f *FS) writebackFile(p *sim.Proc, ino int64, max int) int {
 	return f.flushFileData(p, f.wbCtx, ino, max, true)
+}
+
+// writebackFileAsync is the cache's continuation-form writeback under the
+// run-to-completion engine: flush a batch of ino's dirty pages on behalf of
+// the writeback task and report the count once the writes reach disk.
+func (f *FS) writebackFileAsync(ino int64, max int, done func(n int)) {
+	f.flushFileDataFn(f.wbCtx, ino, max, done)
 }
 
 // Fsync flushes file's dirty data and then forces the transaction containing
@@ -802,7 +901,22 @@ func (f *FS) requestCommit(t *txn) {
 	f.commitWake.Signal()
 }
 
-// commitTimer periodically commits the running transaction, like jbd2.
+// armCommitTimer is the commit timer's t=0 startup event under the
+// run-to-completion engine, mirroring the legacy proc's first Sleep.
+func (f *FS) armCommitTimer() {
+	f.env.Schedule(f.cfg.CommitInterval, f.commitTimerFire)
+}
+
+// commitTimerFire is one tick of the periodic jbd2-style commit timer.
+func (f *FS) commitTimerFire() {
+	if !f.running.empty() {
+		f.requestCommit(f.running)
+	}
+	f.env.Schedule(f.cfg.CommitInterval, f.commitTimerFire)
+}
+
+// commitTimer is the legacy coroutine build of the commit timer, kept only
+// for the differential equivalence harness (core.Options.LegacyCoroutines).
 func (f *FS) commitTimer(p *sim.Proc) {
 	for {
 		p.Sleep(f.cfg.CommitInterval)
@@ -812,7 +926,20 @@ func (f *FS) commitTimer(p *sim.Proc) {
 	}
 }
 
-// journalTask is the jbd2-like kernel thread that commits transactions.
+// journalStep is one run-to-completion iteration of the journal daemon: pop
+// a queued transaction and start its commit chain, or park on commitWake.
+func (f *FS) journalStep() {
+	if len(f.commitQ) == 0 {
+		f.commitWake.WaitFn(f.jWakeFn)
+		return
+	}
+	t := f.commitQ[0]
+	f.commitQ = f.commitQ[1:]
+	f.commitFn(t)
+}
+
+// journalTask is the legacy coroutine build of the jbd2-like kernel thread,
+// kept only for the differential equivalence harness.
 func (f *FS) journalTask(p *sim.Proc) {
 	for {
 		if len(f.commitQ) == 0 {
@@ -825,6 +952,125 @@ func (f *FS) journalTask(p *sim.Proc) {
 	}
 }
 
+// commitFn is the run-to-completion build of commit: the same ordered-mode
+// data pass and journal writes, expressed as a continuation chain over the
+// flush and request completions the legacy proc blocks on.
+func (f *FS) commitFn(t *txn) {
+	if t == f.running {
+		f.running = f.newTxn()
+	}
+	f.committing = t
+	traced := f.tr.Enabled()
+	var commitStart sim.Time
+	if traced {
+		if t.req == 0 {
+			t.req = f.tr.NextReq()
+		}
+		f.jctx.Req = t.req
+		commitStart = f.env.Now()
+	}
+	deps := make([]int64, 0, len(t.dataDeps))
+	for ino := range t.dataDeps {
+		deps = append(deps, ino)
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	f.flushTxnID = t.id
+	i := 0
+	var depStep func()
+	depStep = func() {
+		if i == len(deps) {
+			f.commitJournalWrites(t, traced, commitStart)
+			return
+		}
+		ino := deps[i]
+		i++
+		depStart := f.env.Now()
+		f.waitInflightFn(ino, func() {
+			f.flushFileDataFn(f.jctx, ino, 0, func(n int) {
+				f.statOrderedFlush += int64(n)
+				if traced {
+					f.tr.Record(trace.Event{
+						Layer: trace.LayerFS, Op: trace.OpOrderedFlush,
+						Req: t.req, PID: f.jctx.PID, Causes: t.tcauses,
+						Start: depStart, End: f.env.Now(), Ino: ino, Blocks: n,
+						Txn: t.id,
+					})
+				}
+				depStep()
+			})
+		})
+	}
+	depStep()
+}
+
+// commitJournalWrites finishes a commit chain after the ordered-mode data
+// pass: descriptor + metadata blocks, the commit-record barrier, then the
+// epilogue, and loop back into journalStep for the next queued transaction.
+func (f *FS) commitJournalWrites(t *txn, traced bool, commitStart sim.Time) {
+	f.flushTxnID = 0
+	jcauses := causes.Of(f.jctx.PID)
+	if f.cfg.TagJournalProxy {
+		f.jctx.BeginProxy(t.tcauses)
+		jcauses = f.jctx.Causes()
+	}
+	nblocks := t.metaBlocks + 1
+	if nblocks > f.cfg.JournalBlocks/2 {
+		nblocks = f.cfg.JournalBlocks / 2
+	}
+	lba := f.journalStart + f.journalHead
+	f.journalHead = (f.journalHead + nblocks + 1) % f.cfg.JournalBlocks
+	desc := &block.Request{
+		Op:        device.Write,
+		LBA:       lba,
+		Blocks:    int(nblocks),
+		Causes:    jcauses,
+		Submitter: f.jctx.PID,
+		Prio:      f.jctx.Prio,
+		Journal:   true,
+		Meta:      true,
+		Sync:      true,
+		TxnID:     t.id,
+		Req:       t.req,
+	}
+	f.blk.Submit(desc).WaitFn(func() {
+		commitRec := &block.Request{
+			Op:        device.Write,
+			LBA:       lba + nblocks,
+			Blocks:    1,
+			Causes:    jcauses,
+			Submitter: f.jctx.PID,
+			Prio:      f.jctx.Prio,
+			Journal:   true,
+			Meta:      true,
+			Sync:      true,
+			Barrier:   true,
+			TxnID:     t.id,
+			Req:       t.req,
+		}
+		f.blk.Submit(commitRec).WaitFn(func() {
+			if f.cfg.TagJournalProxy {
+				f.jctx.EndProxy()
+			}
+			if traced {
+				f.tr.Record(trace.Event{
+					Layer: trace.LayerFS, Op: trace.OpTxnCommit, Label: f.cfg.Name,
+					Req: t.req, PID: f.jctx.PID, Causes: t.tcauses,
+					Start: commitStart, End: f.env.Now(), Blocks: int(nblocks) + 1,
+					Txn: t.id, Flags: trace.FlagJournal | trace.FlagMeta,
+				})
+				f.jctx.Req = 0
+			}
+			f.statCommits++
+			f.statJournalBlks += nblocks + 1
+			f.committing = nil
+			t.done.Complete()
+			f.journalStep()
+		})
+	})
+}
+
+// commit is the legacy coroutine build of the transaction commit, kept only
+// for the differential equivalence harness.
 func (f *FS) commit(p *sim.Proc, t *txn) {
 	if t == f.running {
 		f.running = f.newTxn()

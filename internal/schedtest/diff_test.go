@@ -1,0 +1,56 @@
+// Differential engine equivalence: the run-to-completion handler engine
+// and the legacy cooperative-coroutine engine must produce byte-identical
+// schedules. Every (scheduler × seed) cell of the canonical property
+// workload runs under both engines and the full payloads — trace hash,
+// per-process completion set, idle profile, event count — are compared
+// field by field. A single diverging virtual-time stamp anywhere in the
+// run changes the trace hash, so equality here is equality of the entire
+// event schedule, not of summary statistics.
+
+package schedtest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEngineEquivalence runs the full scheduler matrix under both engines
+// and demands identical payloads per cell. This is the proof obligation of
+// the flat event-loop rewrite: the handler conversion of every kernel
+// daemon (block dispatcher, pdflush, journal + commit timer, device/FTL
+// GC) maps each legacy scheduling operation 1:1 onto the event queue, so
+// nothing observable may move.
+func TestEngineEquivalence(t *testing.T) {
+	seeds := propSeedCount()
+	handler := runPropMatrix(t, seeds, false)
+	legacy := runPropMatrix(t, seeds, true)
+	for i, s := range propSchedulers {
+		for j := 0; j < seeds; j++ {
+			a, b := handler[i][j], legacy[i][j]
+			name := fmt.Sprintf("%s/seed%d", s.name, j+1)
+			if a.Hash != b.Hash {
+				t.Errorf("%s: trace hash diverges across engines: handler %s vs legacy %s (%d vs %d events)",
+					name, a.Hash, b.Hash, a.Events, b.Events)
+			}
+			if a.Events != b.Events {
+				t.Errorf("%s: event count diverges across engines: handler %d vs legacy %d",
+					name, a.Events, b.Events)
+			}
+			if len(a.Done) != len(b.Done) {
+				t.Errorf("%s: completion sets differ in size: handler %d vs legacy %d",
+					name, len(a.Done), len(b.Done))
+				continue
+			}
+			for pi := range a.Done {
+				if a.Done[pi] != b.Done[pi] {
+					t.Errorf("%s: process %d completion diverges: handler %q vs legacy %q",
+						name, pi, a.Done[pi], b.Done[pi])
+				}
+			}
+			if a.MaxIdleNS != b.MaxIdleNS {
+				t.Errorf("%s: idle-while-queued profile diverges: handler %dns vs legacy %dns",
+					name, a.MaxIdleNS, b.MaxIdleNS)
+			}
+		}
+	}
+}

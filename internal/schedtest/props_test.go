@@ -9,8 +9,6 @@
 package schedtest
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -21,6 +19,7 @@ import (
 	"splitio/internal/sched/afq"
 	"splitio/internal/sched/bdeadline"
 	"splitio/internal/sched/cfq"
+	"splitio/internal/sched/gcafq"
 	"splitio/internal/sched/noop"
 	"splitio/internal/sched/scstoken"
 	"splitio/internal/sched/sdeadline"
@@ -43,6 +42,7 @@ var propSchedulers = []struct {
 	{"block-deadline", bdeadline.Factory},
 	{"scs-token", scstoken.Factory},
 	{"afq", afq.Factory},
+	{"gc-afq", gcafq.Factory},
 	{"split-deadline", sdeadline.Factory},
 	{"split-pdflush", sdeadline.PdflushFactory},
 	{"split-token", stoken.Factory},
@@ -84,12 +84,13 @@ type propResult struct {
 	Events int `json:"events"`
 }
 
-// runPropCell runs the canonical workload under one (scheduler, seed) and
-// extracts the property payload. It is called from sweep worker goroutines,
-// so it touches nothing but its own kernel.
-func runPropCell(factory core.Factory, seed int64) propResult {
+// runPropCell runs the canonical workload under one (scheduler, seed,
+// engine) and extracts the property payload. It is called from sweep worker
+// goroutines, so it touches nothing but its own kernel.
+func runPropCell(factory core.Factory, seed int64, legacy bool) propResult {
 	opts := core.DefaultOptions()
 	opts.Seed = seed
+	opts.LegacyCoroutines = legacy
 	cc := SmallCache()
 	opts.Cache = &cc
 	k := core.NewKernelOn(sim.NewEnv(seed), opts, factory)
@@ -106,7 +107,7 @@ func runPropCell(factory core.Factory, seed int64) propResult {
 
 	events := k.Trace.Events()
 	res := propResult{
-		Hash:      hashTrace(events),
+		Hash:      TraceHash(events),
 		MaxIdleNS: int64(idleWhileQueued(events)),
 		Events:    len(events),
 	}
@@ -115,20 +116,6 @@ func runPropCell(factory core.Factory, seed int64) propResult {
 			spec.Procs[i].Name, pr.BytesRead.Total(), pr.BytesWritten.Total(), pr.Fsyncs.Count()))
 	}
 	return res
-}
-
-// hashTrace digests the deterministic fields of every event. Causes is
-// omitted (it is set-valued); everything ordered and timed is included, so
-// two runs collide only if they performed identical I/O at identical
-// virtual times.
-func hashTrace(events []trace.Event) string {
-	h := sha256.New()
-	for _, e := range events {
-		fmt.Fprintf(h, "%d|%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
-			e.Layer, e.Op, e.Label, e.Req, e.PID, int64(e.Start), int64(e.End),
-			e.Ino, e.Page, e.LBA, e.Blocks, e.Bytes, e.Prio, e.Txn, e.Flags)
-	}
-	return hex.EncodeToString(h.Sum(nil))
 }
 
 // span is a half-open [start, end) interval in virtual time.
@@ -207,13 +194,18 @@ func idleWhileQueued(events []trace.Event) time.Duration {
 }
 
 // propCellKey labels one matrix cell for the sweep cache and error output.
-func propCellKey(sched string, seed int64) sweep.Key {
-	return sweep.Key{Experiment: "schedtest-props", Config: "sched=" + sched, Seed: seed, Version: "test"}
+func propCellKey(sched string, seed int64, legacy bool) sweep.Key {
+	config := "sched=" + sched
+	if legacy {
+		config += " engine=legacy"
+	}
+	return sweep.Key{Experiment: "schedtest-props", Config: config, Seed: seed, Version: "test"}
 }
 
 // runPropMatrix fans the full (scheduler × seed) matrix through the sweep
-// runner and returns the decoded payloads indexed [scheduler][seed].
-func runPropMatrix(t *testing.T, seeds int) [][]propResult {
+// runner on the given engine and returns the decoded payloads indexed
+// [scheduler][seed].
+func runPropMatrix(t *testing.T, seeds int, legacy bool) [][]propResult {
 	t.Helper()
 	cells := make([]sweep.Cell, 0, len(propSchedulers)*seeds)
 	for _, s := range propSchedulers {
@@ -221,9 +213,9 @@ func runPropMatrix(t *testing.T, seeds int) [][]propResult {
 		for seed := int64(1); seed <= int64(seeds); seed++ {
 			seed := seed
 			cells = append(cells, sweep.Cell{
-				Key: propCellKey(s.name, seed),
+				Key: propCellKey(s.name, seed, legacy),
 				Run: func() ([]byte, error) {
-					return json.Marshal(runPropCell(factory, seed))
+					return json.Marshal(runPropCell(factory, seed, legacy))
 				},
 			})
 		}
@@ -263,7 +255,7 @@ func propSeedCount() int {
 // determinism property would be vacuous).
 func TestSchedulerProperties(t *testing.T) {
 	seeds := propSeedCount()
-	matrix := runPropMatrix(t, seeds)
+	matrix := runPropMatrix(t, seeds, false)
 
 	// The expected completion set comes from the workload definition: each
 	// process does exactly its configured bytes, regardless of scheduler or
@@ -317,8 +309,8 @@ func TestSchedulerProperties(t *testing.T) {
 // across independently constructed kernels on different goroutines.
 func TestSchedulerSeedDeterminism(t *testing.T) {
 	const rerunSeeds = 4
-	first := runPropMatrix(t, rerunSeeds)
-	second := runPropMatrix(t, rerunSeeds)
+	first := runPropMatrix(t, rerunSeeds, false)
+	second := runPropMatrix(t, rerunSeeds, false)
 	for i, s := range propSchedulers {
 		for j := 0; j < rerunSeeds; j++ {
 			a, b := first[i][j], second[i][j]

@@ -5,7 +5,11 @@
 package schedtest
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -78,6 +82,52 @@ func SpawnLoop(k *core.Kernel, name string, prio int, fn func(p *sim.Proc, pr *v
 func EnableTrace(k *core.Kernel) *trace.Tracer {
 	k.Trace.Enable()
 	return k.Trace
+}
+
+// TraceHash digests the deterministic fields of every event. Causes is
+// omitted (it is set-valued); everything ordered and timed is included, so
+// two runs collide only if they performed identical I/O at identical
+// virtual times. The differential engine harness compares it across the
+// legacy coroutine engine and the run-to-completion handler engine.
+func TraceHash(events []trace.Event) string {
+	h := sha256.New()
+	for _, e := range events {
+		fmt.Fprintf(h, "%d|%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			e.Layer, e.Op, e.Label, e.Req, e.PID, int64(e.Start), int64(e.End),
+			e.Ino, e.Page, e.LBA, e.Blocks, e.Bytes, e.Prio, e.Txn, e.Flags)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// MetricsDump renders every sampled gauge series of r in a canonical text
+// form (sorted names, every point as time=value), skipping names that carry
+// any of the given prefixes. The engine equivalence harness excludes "sim."
+// — raw event and context-switch counts are the one place the two engines
+// legitimately differ.
+func MetricsDump(r *metrics.Registry, excludePrefixes ...string) string {
+	var b strings.Builder
+	names := r.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		skip := false
+		for _, pfx := range excludePrefixes {
+			if strings.HasPrefix(name, pfx) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:", name)
+		if s := r.Series(name); s != nil {
+			for _, p := range s.Points {
+				fmt.Fprintf(&b, " %d=%g", int64(p.T), p.V)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // RequestTree groups events by request ID (dropping the untagged req 0

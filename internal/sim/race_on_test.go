@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions skip under it because instrumentation shifts alloc counts.
+const raceEnabled = true

@@ -1,10 +1,26 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel drives a virtual clock and an ordered event queue. Simulated
-// processes are cooperative goroutines: exactly one process (or event
-// callback) runs at a time, and control returns to the event loop whenever a
-// process sleeps or blocks on a wait queue. Events scheduled for the same
-// instant fire in scheduling order, so runs are fully deterministic.
+// The kernel drives a virtual clock and an ordered event queue. Two kinds of
+// code run on the loop:
+//
+//   - Run-to-completion handlers: plain callbacks scheduled with Schedule /
+//     ScheduleAt (or parked on a WaitQueue / Completion via the *Fn wait
+//     variants). A handler runs on the event loop itself, must not block, and
+//     costs no context switches. All kernel daemons (block dispatcher,
+//     pdflush, journal commit, FTL GC) run this way.
+//
+//   - Cooperative processes (Proc): goroutines with blocking control flow
+//     (Sleep, Wait, SubmitAndWait) for workload and application code.
+//     Exactly one process (or handler) runs at a time; control returns to
+//     the event loop whenever a process sleeps or blocks. Each park/resume
+//     costs two goroutine context switches — which is why hot kernel paths
+//     are handlers, not Procs.
+//
+// Events scheduled for the same instant fire in scheduling order, so runs
+// are fully deterministic regardless of which kind of code scheduled them.
+// Event structs are slab-allocated and pooled (poisoned on release), and the
+// queue is a four-ary min-heap over a concrete event type, so the steady
+// state of the loop performs no allocations.
 //
 // All time is virtual: a Time is nanoseconds since the start of the run, and
 // durations use time.Duration for readability (time.Millisecond etc.) even
@@ -12,7 +28,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -32,31 +47,19 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
+// poisonTime marks a released pooled event; a poisoned event reaching the
+// heap indicates a use-after-release bug.
+const poisonTime = Time(-1 << 62)
+
 type event struct {
-	at  Time
-	seq int64
-	fn  func()
+	at     Time
+	seq    int64
+	fn     func()
+	pooled bool // on the free list; scheduling or releasing it again is a bug
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// eventSlabSize is how many event structs one pool growth allocates.
+const eventSlabSize = 256
 
 // Stats counts the kernel-level work an environment has performed. The
 // counters are plain increments on paths the event loop already executes, so
@@ -66,8 +69,8 @@ type Stats struct {
 	// Events is the number of events popped and executed.
 	Events int64
 	// Switches counts process handoffs (each one costs two goroutine context
-	// switches in the coroutine engine — the tax the DES-core rewrite on the
-	// roadmap wants to eliminate).
+	// switches in the coroutine engine). Run-to-completion handlers never
+	// switch, so on converted kernel paths this stays near zero.
 	Switches int64
 	// HeapMax is the event-heap depth high-water mark.
 	HeapMax int
@@ -87,13 +90,16 @@ var StatsHook func(Stats)
 // event callbacks) or before/after Run.
 type Env struct {
 	now    Time
-	events eventHeap
+	events []*event // four-ary min-heap ordered by (at, seq)
+	free   []*event // pooled event structs
 	seq    int64
 	rng    *rand.Rand
 	procs  []*Proc
 	park   chan struct{} //splitlint:ignore nogoroutine coroutine engine: exactly one goroutine runs at a time; the park/resume handoff IS the deterministic scheduler
 	cur    *Proc
 	closed bool
+	legacy bool
+	obs    func(at Time)
 	stats  Stats
 }
 
@@ -115,8 +121,114 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 // Stats returns the environment's kernel counters so far.
 func (e *Env) Stats() Stats { return e.stats }
 
+// SetLegacyCoroutines selects, before kernel construction, the legacy
+// cooperative-coroutine builds of the converted kernel daemons (block
+// dispatcher, pdflush, journal, FTL GC). It exists so the differential test
+// harness can run both engines against each other; the default (false) is
+// the run-to-completion handler engine.
+func (e *Env) SetLegacyCoroutines(on bool) { e.legacy = on }
+
+// LegacyCoroutines reports whether the legacy coroutine daemon builds were
+// selected.
+func (e *Env) LegacyCoroutines() bool { return e.legacy }
+
+// SetEventObserver installs a debug hook called with every event's
+// timestamp just before its callback runs (the clock has already advanced).
+// Tests use it to assert the loop never hands a handler a stale Now().
+// Pass nil to remove. The observer must not schedule or run simulation code.
+func (e *Env) SetEventObserver(fn func(at Time)) { e.obs = fn }
+
+// allocEvent takes an event struct off the pool, growing it by one slab
+// when empty.
+func (e *Env) allocEvent() *event {
+	if len(e.free) == 0 {
+		slab := make([]event, eventSlabSize)
+		for i := range slab {
+			slab[i].pooled = true
+			e.free = append(e.free, &slab[i])
+		}
+	}
+	ev := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	ev.pooled = false
+	return ev
+}
+
+// releaseEvent poisons ev and returns it to the pool. Double release panics:
+// a pooled event re-released would alias two future schedules.
+func (e *Env) releaseEvent(ev *event) {
+	if ev.pooled {
+		panic("sim: event double-release")
+	}
+	ev.pooled = true
+	ev.at = poisonTime
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// eventLess orders the heap by (at, seq): time first, scheduling order as
+// the deterministic tie-break.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush inserts ev into the four-ary min-heap.
+func (e *Env) heapPush(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// heapPop removes and returns the minimum event.
+func (e *Env) heapPop() *event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.events = h
+	// Sift the moved element down; four children per node keeps the tree
+	// half as deep as a binary heap, trading comparisons for far fewer
+	// cache-missing swaps.
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !eventLess(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
 // Schedule runs fn at the current time plus delay. A negative delay is
-// treated as zero. fn runs in the event loop; it must not block.
+// treated as zero. fn runs on the event loop; it must not block.
 func (e *Env) Schedule(delay time.Duration, fn func()) {
 	if delay < 0 {
 		delay = 0
@@ -130,11 +242,43 @@ func (e *Env) ScheduleAt(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	ev := e.allocEvent()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	e.heapPush(ev)
 	if n := len(e.events); n > e.stats.HeapMax {
 		e.stats.HeapMax = n
 	}
 }
+
+// Handler is a named run-to-completion callback: the handler analog of a
+// kernel daemon Proc. Its body is fixed at construction, so waking it
+// repeatedly performs no closure allocation — the loop schedules the same
+// func value each time. Handlers run on the event loop and must not block;
+// state machines park by simply not rescheduling themselves (or by waiting
+// on a WaitQueue/Completion via the *Fn variants) and are woken by whoever
+// holds their Handler.
+type Handler struct {
+	env  *Env
+	name string
+	fn   func()
+}
+
+// NewHandler registers fn as a named run-to-completion handler body and
+// returns its wake handle. fn runs only when the handler is scheduled.
+func (e *Env) NewHandler(name string, fn func()) *Handler {
+	return &Handler{env: e, name: name, fn: fn}
+}
+
+// Name returns the handler name given at construction.
+func (h *Handler) Name() string { return h.name }
+
+// Schedule enqueues one run of the handler body after delay.
+func (h *Handler) Schedule(delay time.Duration) { h.env.Schedule(delay, h.fn) }
+
+// ScheduleAt enqueues one run of the handler body at time at.
+func (h *Handler) ScheduleAt(at Time) { h.env.ScheduleAt(at, h.fn) }
 
 // procKilled is the panic sentinel used to unwind killed processes.
 type procKilled struct{}
@@ -247,15 +391,20 @@ func (e *Env) Run(until Time) Time {
 	if e.closed {
 		panic("sim: Run on closed Env")
 	}
-	for e.events.Len() > 0 {
+	for len(e.events) > 0 {
 		ev := e.events[0]
 		if ev.at > until {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = ev.at
+		e.heapPop()
+		at, fn := ev.at, ev.fn
+		e.releaseEvent(ev)
+		e.now = at
 		e.stats.Events++
-		ev.fn()
+		if e.obs != nil {
+			e.obs(at)
+		}
+		fn()
 	}
 	if e.now < until {
 		e.now = until
@@ -267,11 +416,16 @@ func (e *Env) Run(until Time) Time {
 //
 //splitlint:hot
 func (e *Env) RunAll() Time {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
+	for len(e.events) > 0 {
+		ev := e.heapPop()
+		at, fn := ev.at, ev.fn
+		e.releaseEvent(ev)
+		e.now = at
 		e.stats.Events++
-		ev.fn()
+		if e.obs != nil {
+			e.obs(at)
+		}
+		fn()
 	}
 	return e.now
 }
@@ -299,24 +453,26 @@ func (e *Env) Close() {
 	}
 }
 
-// WaitQueue is a FIFO queue of blocked processes. Wakers schedule wake-ups
-// as zero-delay events, so a woken process resumes at the current virtual
-// instant but after the waker yields.
+// WaitQueue is a FIFO queue of blocked waiters — parked processes and
+// parked handler continuations, interleaved in arrival order. Wakers
+// schedule wake-ups as zero-delay events, so a woken waiter resumes at the
+// current virtual instant but after the waker yields.
 type WaitQueue struct {
 	env     *Env
 	waiters []*waiter
 }
 
 type waiter struct {
-	p     *Proc
-	fired bool // signaled or timed out; entry is dead
-	sig   bool // woken by Signal (vs timeout)
+	p     *Proc          // non-nil for a process waiter
+	fn    func(sig bool) // non-nil for a handler-continuation waiter
+	fired bool           // signaled or timed out; entry is dead
+	sig   bool           // woken by Signal (vs timeout)
 }
 
 // NewWaitQueue returns an empty wait queue on env.
 func NewWaitQueue(env *Env) *WaitQueue { return &WaitQueue{env: env} }
 
-// Len returns the number of blocked processes.
+// Len returns the number of blocked waiters.
 func (q *WaitQueue) Len() int { return len(q.waiters) }
 
 // Wait blocks p until another process or event signals the queue.
@@ -328,11 +484,38 @@ func (q *WaitQueue) Wait(p *Proc) {
 	p.blocked = false
 }
 
+// WaitFn parks fn as a handler continuation until the queue is signaled.
+// The continuation runs as a zero-delay event with sig=true, in the same
+// FIFO position a process calling Wait from the same spot would occupy.
+func (q *WaitQueue) WaitFn(fn func(sig bool)) {
+	q.waiters = append(q.waiters, &waiter{fn: fn})
+}
+
 // WaitTimeout blocks p until the queue is signaled or d elapses. It reports
 // whether the wake-up was a signal (true) rather than a timeout (false).
 func (q *WaitQueue) WaitTimeout(p *Proc, d time.Duration) bool {
 	w := &waiter{p: p}
 	q.waiters = append(q.waiters, w)
+	q.armTimeout(w, d)
+	p.blocked = true
+	p.block()
+	p.blocked = false
+	return w.sig
+}
+
+// WaitTimeoutFn parks fn as a handler continuation until the queue is
+// signaled (continuation runs as a zero-delay event with sig=true) or d
+// elapses (continuation runs inside the timer event with sig=false) —
+// exactly the wake-up schedule WaitTimeout gives a process.
+func (q *WaitQueue) WaitTimeoutFn(d time.Duration, fn func(sig bool)) {
+	w := &waiter{fn: fn}
+	q.waiters = append(q.waiters, w)
+	q.armTimeout(w, d)
+}
+
+// armTimeout schedules w's expiry. On expiry the waiter is removed and woken
+// inline in the timer event (a signal in flight has already marked it fired).
+func (q *WaitQueue) armTimeout(w *waiter, d time.Duration) {
 	q.env.Schedule(d, func() {
 		if w.fired {
 			return
@@ -344,15 +527,15 @@ func (q *WaitQueue) WaitTimeout(p *Proc, d time.Duration) bool {
 				break
 			}
 		}
-		q.env.runProc(p)
+		if w.p != nil {
+			q.env.runProc(w.p)
+			return
+		}
+		w.fn(false)
 	})
-	p.blocked = true
-	p.block()
-	p.blocked = false
-	return w.sig
 }
 
-// Signal wakes the longest-waiting process, if any.
+// Signal wakes the longest-waiting waiter, if any.
 func (q *WaitQueue) Signal() {
 	if len(q.waiters) == 0 {
 		return
@@ -361,23 +544,34 @@ func (q *WaitQueue) Signal() {
 	q.waiters = q.waiters[1:]
 	w.fired = true
 	w.sig = true
-	q.env.Schedule(0, func() { q.env.runProc(w.p) })
+	if w.p != nil {
+		q.env.Schedule(0, func() { q.env.runProc(w.p) })
+		return
+	}
+	q.env.Schedule(0, func() { w.fn(true) })
 }
 
-// Broadcast wakes every blocked process in FIFO order.
+// Broadcast wakes every blocked waiter in FIFO order.
 func (q *WaitQueue) Broadcast() {
 	for len(q.waiters) > 0 {
 		q.Signal()
 	}
 }
 
-// Completion is a one-shot event that processes can wait on. Waiting on an
-// already-completed Completion returns immediately.
+// Completion is a one-shot event that processes and handler continuations
+// can wait on. Waiting on an already-completed Completion returns (or, for
+// WaitFn, runs the continuation) immediately.
 type Completion struct {
 	env  *Env
 	done bool
-	q    []*Proc
+	q    []compWaiter
 	fns  []func()
+}
+
+// compWaiter is one parked waiter: a process or a handler continuation.
+type compWaiter struct {
+	p  *Proc
+	fn func()
 }
 
 // NewCompletion returns an incomplete Completion on env.
@@ -400,9 +594,13 @@ func (c *Completion) Complete() {
 		c.env.Schedule(0, fn)
 	}
 	c.fns = nil
-	for _, p := range c.q {
-		proc := p
-		c.env.Schedule(0, func() { c.env.runProc(proc) })
+	for _, w := range c.q {
+		if w.p != nil {
+			proc := w.p
+			c.env.Schedule(0, func() { c.env.runProc(proc) })
+			continue
+		}
+		c.env.Schedule(0, w.fn)
 	}
 	c.q = nil
 }
@@ -412,8 +610,42 @@ func (c *Completion) Wait(p *Proc) {
 	if c.done {
 		return
 	}
-	c.q = append(c.q, p)
+	c.q = append(c.q, compWaiter{p: p})
 	p.block()
+}
+
+// WaitFn parks fn as a handler continuation until the completion is done.
+// If it already is, fn runs inline — the continuation analog of Wait
+// returning without yielding. Otherwise fn runs as a zero-delay event when
+// Complete fires, in the same FIFO position a waiting process would occupy
+// (after the OnComplete callbacks, like every waiter).
+func (c *Completion) WaitFn(fn func()) {
+	if c.done {
+		fn()
+		return
+	}
+	c.q = append(c.q, compWaiter{fn: fn})
+}
+
+// WaitAllFn invokes k once every completion in cs is done, waiting on each
+// in order — the continuation analog of a process calling Wait in a loop.
+// Completions already done are skipped inline; k runs inline if all are.
+func WaitAllFn(cs []*Completion, k func()) {
+	i := 0
+	var step func()
+	step = func() {
+		for i < len(cs) && cs[i].done {
+			i++
+		}
+		if i == len(cs) {
+			k()
+			return
+		}
+		c := cs[i]
+		i++
+		c.q = append(c.q, compWaiter{fn: step})
+	}
+	step()
 }
 
 // OnComplete runs fn (as a zero-delay event) once the completion is done.

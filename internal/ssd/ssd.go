@@ -164,6 +164,11 @@ type Device struct {
 	lastPos   time.Duration
 	lastXfr   time.Duration
 	lastStall time.Duration
+
+	// Run-to-completion collector state (the default engine): the step and
+	// park callbacks are allocated once so GC pacing never allocates.
+	gcStepFn func()
+	gcWaitFn func(sig bool)
 }
 
 // New builds a device and starts its background collector on env.
@@ -218,7 +223,15 @@ func New(env *sim.Env, cfg Config) *Device {
 	d.chanFree = make([]time.Duration, cfg.Channels)
 	d.gcHeld = make([]time.Duration, d.dies)
 	d.gcHash = fnvOffset
-	env.Go("ssd-gc", d.gcLoop)
+	if env.LegacyCoroutines() {
+		env.Go("ssd-gc", d.gcLoop)
+		return d
+	}
+	d.gcStepFn = d.gcStep
+	d.gcWaitFn = func(sig bool) { d.gcStep() }
+	// The startup event mirrors the legacy spawn: the collector's first
+	// watermark probe runs at time zero, in construction order.
+	env.Schedule(0, d.gcStepFn)
 	return d
 }
 
